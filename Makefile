@@ -1,0 +1,27 @@
+# Convenience targets for the RAC reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench report examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+test-fast:
+	$(PYTHON) -m pytest tests/ --ignore=tests/integration/test_throughput_validation.py
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+report:
+	$(PYTHON) -m repro report --output results/full_report.txt
+
+examples:
+	for ex in examples/*.py; do echo "=== $$ex ==="; $(PYTHON) $$ex || exit 1; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis results/*.txt test_output.txt bench_output.txt
+	find . -name __pycache__ -type d -exec rm -rf {} +

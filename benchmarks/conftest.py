@@ -1,0 +1,28 @@
+"""Shared benchmark fixtures.
+
+Every figure/table bench renders its output into ``results/`` so that a
+``pytest benchmarks/ --benchmark-only`` run leaves the regenerated
+paper artefacts on disk next to the timing numbers.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    def _save(name: str, text: str) -> None:
+        path = results_dir / name
+        path.write_text(text + "\n")
+        print(f"\n[saved {path}]\n{text}")
+
+    return _save

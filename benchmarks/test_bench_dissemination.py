@@ -1,0 +1,28 @@
+"""Bench + regeneration of the ring-reliability sweep (Section IV-C).
+
+Writes ``results/dissemination.txt`` and asserts the paper's claim:
+enough rings make dissemination reliable against dropping opponents —
+with R = 7 and 10 % opponents, broadcasts reach every honest node
+essentially always, while R = 1 leaves large holes.
+"""
+
+from repro.experiments.dissemination import coverage_vs_rings, render_coverage
+
+
+def test_coverage_vs_rings(benchmark, save_result):
+    points = benchmark.pedantic(
+        coverage_vs_rings,
+        kwargs=dict(group_size=200, ring_counts=(1, 2, 3, 5, 7), trials=150),
+        iterations=1,
+        rounds=1,
+    )
+    save_result("dissemination.txt", render_coverage(points, group_size=200))
+    by_r = {p.num_rings: p for p in points}
+    # One ring: a single opponent cuts the ring; coverage collapses.
+    assert by_r[1].full_coverage_rate < 0.1
+    # Seven rings (the paper's choice): essentially always complete.
+    assert by_r[7].full_coverage_rate > 0.99
+    assert by_r[7].mean_coverage > 0.9999
+    # Monotone improvement with redundancy.
+    rates = [by_r[r].mean_coverage for r in (1, 2, 3, 5, 7)]
+    assert all(a <= b + 1e-9 for a, b in zip(rates, rates[1:]))

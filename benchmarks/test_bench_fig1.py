@@ -1,0 +1,51 @@
+"""Benchmark + regeneration of Figure 1 (Dissent v1/v2 throughput vs N).
+
+``benchmark`` times the sweep; the rendered table (the paper's two
+curves as rows) lands in ``results/figure1.txt``. The assertions pin
+the figure's qualitative content: both baselines collapse with N and
+v2 dominates v1 at scale.
+"""
+
+from repro.experiments.fig1 import empirical_dissent_v1_point, figure1
+
+
+def test_figure1_sweep(benchmark, save_result):
+    result = benchmark(figure1)
+    save_result("figure1.txt", result.render())
+    # Figure 1's shape: monotone collapse, v2 > v1 beyond ~1000 nodes.
+    assert result.dissent_v1[-1] < result.dissent_v1[0]
+    assert result.dissent_v2[-1] < result.dissent_v2[0]
+    for i, n in enumerate(result.sizes):
+        if n >= 1000:
+            assert result.dissent_v2[i] > result.dissent_v1[i]
+
+
+def test_figure1_empirical_dissent_v1_round(benchmark):
+    """Cost of one real (functional) Dissent v1 round at N=16."""
+    rate = benchmark(empirical_dissent_v1_point, 16, 1000)
+    assert rate > 0
+
+
+def test_figure1_packet_level_dissent_v1(benchmark, save_result):
+    """Dissent v1 over the packet network: the Figure 1 curve from
+    actual wire latency at small N."""
+    from repro.baselines.dissent_v1_sim import DissentV1Sim
+
+    def measure():
+        points = {}
+        for n in (4, 8, 16):
+            sim = DissentV1Sim(n, message_length=1000, seed=4)
+            result = sim.run_round([b"p%d" % i for i in range(n)])
+            points[n] = result.per_member_goodput_bps(1000)
+        return points
+
+    points = benchmark.pedantic(measure, iterations=1, rounds=1)
+    save_result(
+        "figure1_packet_level.txt",
+        "\n".join(
+            f"packet-level Dissent v1 @ N={n}: {g:,.0f} b/s per member"
+            for n, g in sorted(points.items())
+        ),
+    )
+    assert points[4] / points[8] > 3.5  # ~quadratic collapse
+    assert points[8] / points[16] > 3.5

@@ -1,0 +1,23 @@
+"""Latency benches (extension): delivery latency vs onion path length.
+
+Writes ``results/latency.txt``; asserts the linear-in-L growth that
+the slot-based origination model predicts.
+"""
+
+from repro.experiments.latency import latency_vs_relays, render_latency
+
+
+def test_latency_vs_relays(benchmark, save_result):
+    points = benchmark.pedantic(
+        latency_vs_relays,
+        kwargs=dict(relay_counts=(1, 2, 3), population=10, messages=10),
+        iterations=1,
+        rounds=1,
+    )
+    save_result("latency.txt", render_latency(points))
+    assert all(p.samples == 10 for p in points)
+    # Latency grows with the path length (each relay adds one slot).
+    assert points[0].mean < points[-1].mean
+    # And stays within a small multiple of (L+1) slots.
+    for p in points:
+        assert p.p95 < (p.num_relays + 1) * 0.05 * 10

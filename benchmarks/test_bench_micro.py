@@ -1,0 +1,122 @@
+"""Micro-benchmarks of the substrates.
+
+Not tied to a paper figure; they quantify the building blocks so that
+regressions in the hot paths (onion codec, ring queries, event engine,
+sealed boxes, shuffle) show up in CI timings.
+"""
+
+import random
+
+from repro.baselines.dcnet import DCNet
+from repro.core.onion import build_noise, build_onion, peel
+from repro.crypto.keys import KeyPair, seal
+from repro.crypto.shuffle import ShuffleParticipant, run_shuffle
+from repro.overlay.rings import RingTopology
+from repro.simnet.engine import Simulator
+
+PADDED = 10_000
+RELAY_KEYS = [KeyPair.generate("sim", seed=i) for i in range(5)]
+DEST = KeyPair.generate("sim", seed=99)
+
+
+def test_onion_build_l5(benchmark):
+    rng = random.Random(1)
+    result = benchmark(
+        build_onion,
+        b"x" * 1000,
+        [k.public for k in RELAY_KEYS],
+        DEST.public,
+        PADDED,
+        None,
+        rng,
+    )
+    assert len(result.first_wire) == PADDED
+
+
+def test_onion_peel_layer(benchmark):
+    onion = build_onion(
+        b"x" * 1000, [k.public for k in RELAY_KEYS], DEST.public, PADDED, rng=random.Random(2)
+    )
+    result = benchmark(peel, onion.first_wire, RELAY_KEYS[0], None, PADDED)
+    assert result.kind == "relay"
+
+
+def test_opaque_peel_attempt(benchmark):
+    """The per-broadcast cost every non-involved node pays."""
+    wire = build_noise(PADDED, random.Random(3))
+    outsider = KeyPair.generate("sim", seed=500)
+    result = benchmark(peel, wire, outsider, outsider, PADDED)
+    assert result.kind == "opaque"
+
+
+def test_sealed_box_roundtrip_sim(benchmark):
+    keypair = KeyPair.generate("sim", seed=7)
+
+    def roundtrip():
+        return keypair.unseal(seal(keypair.public, b"y" * 256, seed=5))
+
+    assert benchmark(roundtrip) == b"y" * 256
+
+
+def test_sealed_box_roundtrip_dh(benchmark):
+    keypair = KeyPair.generate("dh", seed=7)
+
+    def roundtrip():
+        return keypair.unseal(seal(keypair.public, b"y" * 256, seed=5))
+
+    assert benchmark(roundtrip) == b"y" * 256
+
+
+def test_ring_topology_queries(benchmark):
+    topo = RingTopology(range(1000), num_rings=7)
+
+    def queries():
+        total = 0
+        for node in range(0, 1000, 97):
+            total += len(topo.successors(node))
+        return total
+
+    assert benchmark(queries) > 0
+
+
+def test_ring_topology_churn(benchmark):
+    def churn():
+        topo = RingTopology(range(200), num_rings=7)
+        for node in range(200, 260):
+            topo.add_node(node)
+        for node in range(0, 60):
+            topo.remove_node(node)
+        return len(topo)
+
+    assert benchmark(churn) == 200
+
+
+def test_event_engine_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_10k_events) == 10_000
+
+
+def test_accountable_shuffle_n8(benchmark):
+    def one_round():
+        participants = [ShuffleParticipant(i, rng=random.Random(i)) for i in range(8)]
+        return run_shuffle(participants, [bytes([i]) * 64 for i in range(8)])
+
+    assert benchmark(one_round).success
+
+
+def test_dcnet_round_n16(benchmark):
+    net = DCNet(16, b"bench", slot_length=1024)
+    result = benchmark(net.run_round, 3, b"m" * 1024)
+    assert not result.collision

@@ -1,0 +1,35 @@
+"""Benchmark + regeneration of the Section V-B Nash analysis.
+
+Produces ``results/nash_analysis.txt`` (the per-lemma deviation table)
+and a simulated-verdict companion in ``results/nash_simulated.txt``.
+"""
+
+from repro.analysis.gametheory import NashAnalysis
+from repro.experiments.nash import nash_table, simulate_deviation
+
+
+def test_nash_analytic_table(benchmark, save_result):
+    analysis = NashAnalysis()
+    outcomes = benchmark(analysis.evaluate_all)
+    save_result("nash_analysis.txt", nash_table(analysis))
+    assert all(not o.deviation_is_rational for o in outcomes)
+    assert analysis.is_nash_equilibrium()
+
+
+def test_nash_simulated_forward_dropper(benchmark, save_result):
+    outcome = benchmark.pedantic(
+        simulate_deviation,
+        args=("drop-forwarding",),
+        kwargs=dict(population=12, seed=4, max_time=15.0),
+        iterations=1,
+        rounds=1,
+    )
+    save_result(
+        "nash_simulated.txt",
+        (
+            f"strategy={outcome.strategy} evicted={outcome.evicted} "
+            f"at t={outcome.eviction_time} false_evictions={outcome.false_evictions}"
+        ),
+    )
+    assert outcome.evicted
+    assert outcome.false_evictions == 0

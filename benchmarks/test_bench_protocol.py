@@ -1,0 +1,74 @@
+"""End-to-end protocol benchmarks: whole-system simulation costs.
+
+These time the reproduction itself (how much wall time a simulated
+protocol second costs), complementing the per-figure benches.
+"""
+
+from repro.core.config import RacConfig
+from repro.core.system import RacSystem
+from repro.baselines.dissent_v1 import DissentV1Group
+from repro.baselines.dissent_v2 import DissentV2System
+
+
+def _config():
+    return RacConfig(
+        num_relays=2,
+        num_rings=3,
+        group_min=2,
+        group_max=10**9,
+        message_size=2048,
+        send_interval=0.05,
+        relay_timeout=1.0,
+        predecessor_timeout=0.5,
+        rate_window=1.0,
+        blacklist_period=2.0,
+        puzzle_bits=2,
+    )
+
+
+def test_rac_simulated_second_n16(benchmark):
+    """Wall cost of one simulated second of a 16-node RAC system."""
+
+    def simulate():
+        system = RacSystem(_config(), seed=1)
+        system.bootstrap(16)
+        system.run(1.0)
+        return system.sim.events_processed
+
+    assert benchmark(simulate) > 0
+
+
+def test_rac_bootstrap_n64(benchmark):
+    """Population construction cost (keys, puzzles, rings)."""
+
+    def bootstrap():
+        system = RacSystem(_config(), seed=2)
+        return len(system.bootstrap(64))
+
+    assert benchmark(bootstrap) == 64
+
+
+def test_rac_anonymous_message_end_to_end(benchmark):
+    """Full delivery latency path: send -> relays -> destination."""
+
+    def deliver():
+        system = RacSystem(_config(), seed=3)
+        nodes = system.bootstrap(10)
+        system.run(1.2)
+        system.send(nodes[0], nodes[5], b"benchmark payload")
+        system.run(3.0)
+        return system.delivered_messages(nodes[5])
+
+    assert benchmark(deliver) == [b"benchmark payload"]
+
+
+def test_dissent_v1_round_n12(benchmark):
+    group = DissentV1Group(12, message_length=1024, seed=4)
+    result = benchmark(group.run_round, [b"m" * 1024] * 12)
+    assert result.success
+
+
+def test_dissent_v2_round_n24(benchmark):
+    system = DissentV2System(24, server_count=4, message_length=1024, seed=5)
+    result = benchmark(system.run_round, [b"m" * 1024] * 24)
+    assert result.success

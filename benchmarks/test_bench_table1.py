@@ -1,0 +1,28 @@
+"""Benchmark + regeneration of Table I (anonymity guarantees).
+
+Produces ``results/table1.txt`` and asserts the paper's cells,
+including the log-space extremes (5.8e-1020).
+"""
+
+from repro.experiments.table1 import table1
+
+
+def test_table1_cells(benchmark, save_result):
+    result = benchmark(table1)
+    save_result("table1.txt", result.render())
+
+    # Dissent columns are exactly zero everywhere.
+    for (f, prop, protocol), cell in result.cells.items():
+        if protocol.startswith("Dissent"):
+            assert cell.is_zero()
+
+    # The paper's RAC-1000 column.
+    assert str(result.cell(0.1, "sender", "RAC-1000")) == "7.3e-22"
+    assert str(result.cell(0.1, "receiver", "RAC-1000")) == "5.8e-1020"
+    assert str(result.cell(0.5, "receiver", "RAC-1000")) == "1.2e-303"
+    assert str(result.cell(0.9, "receiver", "RAC-1000")) == "1.1e-46"
+
+    # Onion routing vs RAC-NoGroup (identical sender cells).
+    for f in result.fractions:
+        assert result.cell(f, "sender", "Onion") == result.cell(f, "sender", "RAC-NoGroup")
+        assert result.cell(f, "receiver", "RAC-NoGroup").is_zero()

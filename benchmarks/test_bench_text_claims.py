@@ -1,0 +1,15 @@
+"""Benchmark + scoreboard of every in-text numeric claim of the paper.
+
+Produces ``results/text_claims.txt``; each row pairs the paper's value
+with the reproduced one. All claims must hold.
+"""
+
+from repro.experiments.text_claims import all_claims, render_claims
+
+
+def test_text_claims_scoreboard(benchmark, save_result):
+    claims = benchmark(all_claims)
+    save_result("text_claims.txt", render_claims())
+    for claim in claims:
+        assert claim.holds, f"{claim.section}: {claim.statement}"
+    assert len(claims) >= 10

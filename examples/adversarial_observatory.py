@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""The global opponent's console: watch everything, learn nothing.
+
+Attaches a :class:`repro.analysis.observer.GlobalObserver` — the
+paper's *global and active* opponent: a tap on every link — to a live
+RAC system carrying real anonymous traffic, then shows what the
+opponent actually obtains:
+
+* total traffic seen (everything) vs information extracted (nothing:
+  attribution at chance level, per-node rates uniform);
+* what happens when the opponent turns active (a replay attacker):
+  the protocol detects and evicts it while the observer still cannot
+  tell senders from forwarders.
+"""
+
+import math
+import random
+
+from repro import RacConfig, RacSystem
+from repro.analysis.observer import GlobalObserver
+from repro.freeride.adversary import ReplayAttacker
+
+
+def main() -> None:
+    config = RacConfig.small(blacklist_period=0.0)
+    system = RacSystem(config, seed=1234)
+    nodes = system.bootstrap(14, behaviors={3: ReplayAttacker()})
+    attacker = nodes[3]
+
+    observer = GlobalObserver(system, rng_seed=99)
+    observer.attach()
+    system.run(1.5)
+
+    rng = random.Random(7)
+    flows = []
+    alive = system.active_node_ids()  # the attacker may be evicted already
+    for i in range(10):
+        src = rng.choice(alive)
+        dst = rng.choice([n for n in alive if n != src])
+        if system.send(src, dst, b"confidential-%02d" % i):
+            flows.append((src, dst))
+    system.run(8.0)
+
+    print("=== what the global opponent recorded ===")
+    print(f"packets observed:        {observer.traffic_volume():,}")
+    print(f"distinct broadcasts:     {len(observer.observed_message_ids()):,}")
+    print(f"rate uniformity (max/mean): {observer.rate_uniformity():.2f}  (1.0 = perfect)")
+
+    print("\n=== what the opponent could infer ===")
+    samples = [
+        (observer.observed_message_ids()[i], src) for i, (src, _dst) in enumerate(flows)
+    ]
+    accuracy = observer.sender_attribution_accuracy(samples)
+    chance = 1 / len(nodes)
+    print(f"sender attribution accuracy: {accuracy:.2f} (chance level: {chance:.2f})")
+    bits = observer.anonymity_entropy_bits(observer.observed_message_ids()[0], flows[0][0])
+    print(f"anonymity-set entropy: {bits:.2f} bits (group of {len(nodes)}: "
+          f"{math.log2(len(nodes)):.2f} bits)")
+
+    print("\n=== meanwhile, the active attacker ===")
+    if attacker in system.evicted:
+        info = system.evicted[attacker]
+        print(f"replay attacker evicted at t={info['at']:.2f}s (evidence: {info['kind']})")
+    else:
+        print("replay attacker still in the system (unexpected)")
+    innocents = [n for n in system.evicted if n != attacker]
+    print(f"honest nodes evicted: {len(innocents)} (must be 0)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Anonymity metrics and attack economics.
+
+Two quantitative companions to the Section V analysis:
+
+* the **degree of anonymity** of Díaz et al. / Serjantov & Danezis —
+  ``d = H(X) / log2(|anonymity set|)`` for the attacker's posterior
+  over senders; ``d = 1`` means the observations taught the attacker
+  nothing. Computable from :class:`repro.analysis.observer
+  .GlobalObserver` posteriors or any explicit distribution;
+* the **Sybil placement cost** of the Herbivore-style join puzzle:
+  node ids are uniform, so placing one node into one *specific* group
+  of size G among N nodes costs an expected ``N/G`` admissions, each
+  an expected ``2^mk`` hash evaluations — the concrete price behind
+  §IV-C's "it is difficult for a node to obtain the values of K and y
+  that are necessary to join a given group".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "shannon_entropy_bits",
+    "degree_of_anonymity",
+    "uniform_degree",
+    "SybilCost",
+    "sybil_placement_cost",
+]
+
+
+def shannon_entropy_bits(distribution: "Sequence[float]") -> float:
+    """H(X) in bits of a probability distribution (must sum to ~1)."""
+    total = sum(distribution)
+    if not distribution or not math.isclose(total, 1.0, rel_tol=1e-6):
+        raise ValueError("probabilities must sum to 1")
+    entropy = 0.0
+    for p in distribution:
+        if p < 0:
+            raise ValueError("probabilities cannot be negative")
+        if p > 0:
+            entropy -= p * math.log2(p)
+    return entropy
+
+
+def degree_of_anonymity(distribution: "Sequence[float]") -> float:
+    """``d = H(X) / H_max`` over the attacker's sender posterior.
+
+    1.0 = perfect anonymity (uniform posterior), 0.0 = fully
+    identified. Degenerate single-candidate sets score 0.
+    """
+    n = len(distribution)
+    if n == 0:
+        raise ValueError("empty anonymity set")
+    if n == 1:
+        return 0.0
+    return shannon_entropy_bits(distribution) / math.log2(n)
+
+
+def uniform_degree(set_size: int) -> float:
+    """Degree of anonymity of a uniform posterior (always 1 for n>1)."""
+    if set_size < 1:
+        raise ValueError("anonymity sets have at least one member")
+    return 0.0 if set_size == 1 else 1.0
+
+
+@dataclass(frozen=True)
+class SybilCost:
+    """Expected cost of placing opponent nodes into a chosen group."""
+
+    nodes_placed: int
+    expected_admissions: float
+    expected_hash_evaluations: float
+
+    def describe(self) -> str:
+        return (
+            f"placing {self.nodes_placed} node(s) in a chosen group costs "
+            f"~{self.expected_admissions:,.0f} admissions "
+            f"(~{self.expected_hash_evaluations:,.3g} hash evaluations)"
+        )
+
+
+def sybil_placement_cost(
+    target_nodes: int, N: int, G: int, puzzle_bits: int
+) -> SybilCost:
+    """Expected work to land ``target_nodes`` Sybils in one given group.
+
+    Each admission requires solving the 2^mk puzzle and yields a
+    uniformly random id, which falls in the target group's interval
+    with probability G/N; the opponent cannot do better because f and
+    g are one-way (§IV-C).
+    """
+    if target_nodes < 1 or N < 2 or not 1 <= G <= N:
+        raise ValueError("need target >= 1 and 1 <= G <= N (N >= 2)")
+    if puzzle_bits < 0:
+        raise ValueError("puzzle difficulty is non-negative")
+    admissions = target_nodes * (N / G)
+    return SybilCost(
+        nodes_placed=target_nodes,
+        expected_admissions=admissions,
+        expected_hash_evaluations=admissions * (1 << puzzle_bits),
+    )

@@ -1,0 +1,104 @@
+"""Log-space probabilities.
+
+Table I of the paper contains values like ``5.8e-1020`` — far below
+the smallest positive ``float`` (~1e-308). Every anonymity formula is
+therefore evaluated in base-10 log space; :class:`LogProb` carries the
+exponent and renders mantissa-exponent notation exactly like the
+paper's tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import total_ordering
+
+__all__ = ["LogProb", "ZERO", "ONE"]
+
+
+@total_ordering
+@dataclass(frozen=True)
+class LogProb:
+    """A probability stored as log10(p); exact 0 is ``-inf``."""
+
+    log10: float
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def from_float(cls, p: float) -> "LogProb":
+        if p < 0 or p > 1:
+            raise ValueError(f"{p} is not a probability")
+        if p == 0:
+            return ZERO
+        return cls(math.log10(p))
+
+    @classmethod
+    def product(cls, factors) -> "LogProb":
+        """Product of float factors, each in [0, 1], without underflow."""
+        total = 0.0
+        for f in factors:
+            if f < 0 or f > 1:
+                raise ValueError(f"factor {f} is not a probability")
+            if f == 0:
+                return ZERO
+            total += math.log10(f)
+        return cls(total)
+
+    # -- arithmetic ---------------------------------------------------------
+    def __mul__(self, other: "LogProb | float") -> "LogProb":
+        if isinstance(other, LogProb):
+            return LogProb(self.log10 + other.log10)
+        if other == 0:
+            return ZERO
+        if other < 0:
+            raise ValueError("cannot scale a probability by a negative factor")
+        return LogProb(self.log10 + math.log10(other))
+
+    __rmul__ = __mul__
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LogProb):
+            return self.log10 == other.log10
+        if isinstance(other, (int, float)):
+            return self.value == other
+        return NotImplemented
+
+    def __lt__(self, other: "LogProb | float") -> bool:
+        if isinstance(other, LogProb):
+            return self.log10 < other.log10
+        return self.value < other
+
+    # -- views -----------------------------------------------------------
+    @property
+    def value(self) -> float:
+        """The float value; 0.0 when it underflows."""
+        if self.log10 == float("-inf"):
+            return 0.0
+        try:
+            return 10.0 ** self.log10
+        except OverflowError:
+            return 0.0
+
+    def is_zero(self) -> bool:
+        return self.log10 == float("-inf")
+
+    def scientific(self, digits: int = 1) -> str:
+        """Paper-style rendering: ``'5.8e-1020'``, ``'0'``, ``'0.53'``."""
+        if self.is_zero():
+            return "0"
+        if self.log10 >= -3:
+            return f"{self.value:.{max(digits + 1, 4)}g}"
+        exponent = math.floor(self.log10)
+        mantissa = 10.0 ** (self.log10 - exponent)
+        rounded = round(mantissa, digits)
+        if rounded >= 10.0:  # e.g. 9.97 -> 10.0 at digits=1
+            rounded /= 10.0
+            exponent += 1
+        return f"{rounded:.{digits}f}e{exponent:+d}"
+
+    def __str__(self) -> str:
+        return self.scientific()
+
+
+ZERO = LogProb(float("-inf"))
+ONE = LogProb(0.0)

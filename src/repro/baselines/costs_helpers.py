@@ -1,0 +1,18 @@
+"""Small shared helpers for the baseline implementations."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["spread_evenly"]
+
+
+def spread_evenly(item_count: int, bucket_count: int) -> "Dict[int, int]":
+    """Assign items to buckets with sizes differing by at most one.
+
+    Dissent v2's evaluation setup: *"in order to balance the load, we
+    equally distribute the number of nodes between trusted servers"*.
+    """
+    if bucket_count < 1:
+        raise ValueError("need at least one bucket")
+    return {item: item % bucket_count for item in range(item_count)}

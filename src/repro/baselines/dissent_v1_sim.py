@@ -1,0 +1,198 @@
+"""Dissent v1 over the packet simulator.
+
+:mod:`repro.baselines.dissent_v1` runs the protocol *functionally*
+(instant rounds, counted costs); this module runs it *over the star
+network*: submissions, the sequential anonymization pass, the final
+broadcast and the key reveals are all transport messages paying real
+serialization time. The measured round latency is the packet-level
+counterpart of Figure 1's Dissent v1 curve — per-member goodput
+``message_length * 8 / round_time`` decays as ~C/N² because the
+sequential batch pass moves N items of N-layer onions through every
+member's link.
+
+Phases (each driven purely by message arrival):
+
+1. **submit** — every member sends its onion to member 0;
+2. **anonymize** — member k strips its outer layer from the batch,
+   permutes, and ships the batch to member k+1;
+3. **final** — the last member broadcasts the batch to everyone;
+4. **reveal** — every member broadcasts its inner key; a member holding
+   the final batch plus all reveals decrypts and delivers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..crypto.shuffle import ShuffleParticipant
+from ..simnet.engine import Simulator
+from ..simnet.network import StarNetwork
+from ..simnet.transport import ReliableTransport
+
+__all__ = ["SimRoundResult", "DissentV1Sim"]
+
+
+@dataclass(frozen=True)
+class _Submit:
+    sender: int
+    blob: bytes
+
+
+@dataclass(frozen=True)
+class _Batch:
+    stage: int
+    blobs: tuple
+
+
+@dataclass(frozen=True)
+class _Final:
+    blobs: tuple
+
+
+@dataclass(frozen=True)
+class _Reveal:
+    member: int
+
+
+@dataclass
+class SimRoundResult:
+    """Outcome of one packet-level Dissent v1 round."""
+
+    success: bool
+    round_time: float
+    #: Plaintexts as recovered by member 0 (all members recover the same).
+    messages: Optional[List[bytes]]
+    bytes_on_wire: int
+
+    def per_member_goodput_bps(self, message_length: int) -> float:
+        if self.round_time <= 0:
+            return 0.0
+        return message_length * 8 / self.round_time
+
+
+class _Member:
+    """One member's state machine."""
+
+    def __init__(self, index: int, parent: "DissentV1Sim") -> None:
+        self.index = index
+        self.parent = parent
+        self.participant = ShuffleParticipant(
+            index, backend="sim", rng=random.Random(parent.seed * 1000 + index)
+        )
+        self.submissions: Dict[int, bytes] = {}
+        self.final_batch: Optional[tuple] = None
+        self.reveals: Dict[int, ShuffleParticipant] = {}
+        self.delivered: Optional[List[bytes]] = None
+
+    def on_message(self, src: int, payload) -> None:
+        if isinstance(payload, _Submit):
+            self.submissions[payload.sender] = payload.blob
+            if self.index == 0 and len(self.submissions) == self.parent.n:
+                batch = tuple(self.submissions[i] for i in range(self.parent.n))
+                self._anonymize_and_pass(batch)
+        elif isinstance(payload, _Batch):
+            self._anonymize_and_pass(payload.blobs)
+        elif isinstance(payload, _Final):
+            self.final_batch = payload.blobs
+            self.parent.broadcast_from(self.index, _Reveal(self.index), 64)
+            self.reveals[self.index] = self.participant
+            self._try_deliver()
+        elif isinstance(payload, _Reveal):
+            # The reveal carries the inner private key; in-process we
+            # share the participant object (its inner keypair).
+            self.reveals[payload.member] = self.parent.members[payload.member].participant
+            self._try_deliver()
+
+    def _anonymize_and_pass(self, blobs: tuple) -> None:
+        output = tuple(self.participant.shuffle_step(list(blobs)))
+        size = sum(len(b) for b in output)
+        if self.index + 1 < self.parent.n:
+            self.parent.unicast(self.index, self.index + 1, _Batch(self.index + 1, output), size)
+        else:
+            self.parent.broadcast_from(self.index, _Final(output), size)
+            # The broadcaster also holds the final batch itself.
+            self.final_batch = output
+            self.parent.broadcast_from(self.index, _Reveal(self.index), 64)
+            self.reveals[self.index] = self.participant
+            self._try_deliver()
+
+    def _try_deliver(self) -> None:
+        if self.delivered is not None or self.final_batch is None:
+            return
+        if len(self.reveals) < self.parent.n:
+            return
+        plaintexts = []
+        for item in self.final_batch:
+            blob = item
+            for k in range(self.parent.n):
+                blob = self.reveals[k].inner.unseal(blob)
+            plaintexts.append(blob)
+        self.delivered = plaintexts
+        self.parent.on_member_delivered(self.index)
+
+
+class DissentV1Sim:
+    """A Dissent v1 deployment on the star network."""
+
+    def __init__(
+        self,
+        n: int,
+        message_length: int = 1000,
+        bandwidth_bps: float = 50e6,
+        seed: int = 0,
+    ) -> None:
+        if n < 2:
+            raise ValueError("Dissent v1 needs at least two members")
+        self.n = n
+        self.message_length = message_length
+        self.seed = seed
+        self.sim = Simulator()
+        self.network = StarNetwork(self.sim, bandwidth_bps)
+        self.transport = ReliableTransport(self.network)
+        self.members = [_Member(i, self) for i in range(n)]
+        for member in self.members:
+            self.transport.attach(member.index, member.on_message)
+        self._delivered_members = 0
+        self._round_done_at: Optional[float] = None
+
+    # -- plumbing used by members ------------------------------------------
+    def unicast(self, src: int, dst: int, payload, size: int) -> None:
+        self.transport.send(src, dst, payload, size)
+
+    def broadcast_from(self, src: int, payload, size: int) -> None:
+        for member in self.members:
+            if member.index != src:
+                self.transport.send(src, member.index, payload, size)
+
+    def on_member_delivered(self, index: int) -> None:
+        self._delivered_members += 1
+        if self._delivered_members == self.n:
+            self._round_done_at = self.sim.now
+
+    # -- driving -------------------------------------------------------------
+    def run_round(self, messages: "List[bytes]") -> SimRoundResult:
+        """Execute one full round; every member publishes one message."""
+        if len(messages) != self.n:
+            raise ValueError("exactly one message per member")
+        padded = [m.ljust(self.message_length, b"\x00") for m in messages]
+        for m in padded:
+            if len(m) != self.message_length:
+                raise ValueError("message exceeds the fixed length")
+        outer = [member.participant.outer for member in self.members]
+        inner = [member.participant.inner for member in self.members]
+        start = self.sim.now
+        for member, message in zip(self.members, padded):
+            blob = member.participant.build_ciphertext(message, outer, inner)
+            self.unicast(member.index, 0, _Submit(member.index, blob), len(blob))
+        self.sim.run()
+        if self._round_done_at is None:
+            return SimRoundResult(False, 0.0, None, self.network.bytes_delivered)
+        recovered = [m.rstrip(b"\x00") for m in self.members[0].delivered]
+        return SimRoundResult(
+            success=True,
+            round_time=self._round_done_at - start,
+            messages=recovered,
+            bytes_on_wire=self.network.bytes_delivered,
+        )

@@ -1,0 +1,144 @@
+"""Command-line interface: regenerate any paper artefact from a shell.
+
+::
+
+    python -m repro fig1              # Figure 1 table
+    python -m repro fig3              # Figure 3 table
+    python -m repro table1            # Table I
+    python -m repro claims            # in-text numeric claims scoreboard
+    python -m repro nash              # Section V-B deviation analysis
+    python -m repro ablation          # L / R / G tradeoff sweeps
+    python -m repro trace             # Figure 2 walkthrough
+    python -m repro measure --nodes 10  # packet-level throughput point
+
+Every command prints the same tables the benches write to
+``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RAC (ICDCS 2013) reproduction - regenerate paper figures and tables",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig1", help="Figure 1: Dissent v1/v2 throughput vs N")
+
+    fig3 = sub.add_parser("fig3", help="Figure 3: RAC vs baselines throughput vs N")
+    fig3.add_argument("--group-size", type=int, default=1000, help="G (default 1000)")
+    fig3.add_argument("--relays", type=int, default=5, help="L (default 5)")
+    fig3.add_argument("--rings", type=int, default=7, help="R (default 7)")
+
+    table1 = sub.add_parser("table1", help="Table I: anonymity guarantees")
+    table1.add_argument("--nodes", type=int, default=100_000, help="N (default 100000)")
+    table1.add_argument("--group-size", type=int, default=1000, help="G (default 1000)")
+
+    sub.add_parser("claims", help="scoreboard of every in-text numeric claim")
+    sub.add_parser("nash", help="Section V-B Nash deviation analysis")
+    sub.add_parser("ablation", help="L/R/G anonymity-vs-performance sweeps")
+
+    trace = sub.add_parser("trace", help="Figure 2: one onion's dissemination, traced")
+    trace.add_argument("--population", type=int, default=10)
+    trace.add_argument("--seed", type=int, default=7)
+
+    measure = sub.add_parser("measure", help="packet-level RAC throughput measurement")
+    measure.add_argument("--nodes", type=int, default=10)
+    measure.add_argument("--duration", type=float, default=2.0)
+    measure.add_argument("--seed", type=int, default=3)
+
+    report = sub.add_parser("report", help="full reproduction report (all artefacts)")
+    report.add_argument("--output", default=None, help="also write the report to this file")
+    report.add_argument("--no-ablations", action="store_true")
+
+    return parser
+
+
+def main(argv: "Optional[List[str]]" = None) -> int:
+    try:
+        return _dispatch(build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # Piping into `head` etc. closes stdout early; not an error.
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "fig1":
+        from .experiments.fig1 import figure1
+
+        print(figure1().render())
+    elif args.command == "fig3":
+        from .experiments.fig3 import figure3
+
+        print(
+            figure3(
+                group_size=args.group_size, num_relays=args.relays, num_rings=args.rings
+            ).render()
+        )
+    elif args.command == "table1":
+        from .experiments.table1 import table1
+
+        print(table1(N=args.nodes, G=args.group_size).render())
+    elif args.command == "claims":
+        from .experiments.text_claims import all_claims, render_claims
+
+        print(render_claims())
+        if not all(claim.holds for claim in all_claims()):
+            return 1
+    elif args.command == "nash":
+        from .experiments.nash import nash_table
+
+        print(nash_table())
+    elif args.command == "ablation":
+        from .experiments.ablation import (
+            recommend_parameters,
+            render_ablation,
+            sweep_group_size,
+            sweep_relays,
+            sweep_rings,
+        )
+
+        print(render_ablation(sweep_relays(), "Ablation: relays L"))
+        print()
+        print(render_ablation(sweep_rings(), "Ablation: rings R"))
+        print()
+        print(render_ablation(sweep_group_size(), "Ablation: group size G"))
+        print()
+        print("recommended for (f=10%, sender<=1e-6, majority<=1e-5, set>=1000):")
+        print("  " + recommend_parameters().describe())
+    elif args.command == "trace":
+        from .experiments.fig2_trace import trace_dissemination
+
+        trace = trace_dissemination(population=args.population, seed=args.seed)
+        print(trace.narrative())
+    elif args.command == "report":
+        from .experiments.report import full_report, write_report
+
+        if args.output:
+            print(write_report(args.output, include_ablations=not args.no_ablations))
+        else:
+            print(full_report(include_ablations=not args.no_ablations))
+    elif args.command == "measure":
+        from .experiments.empirical import measure_rac_throughput
+
+        m = measure_rac_throughput(
+            args.nodes, warmup=0.5, duration=args.duration, seed=args.seed
+        )
+        print(
+            f"N={m.nodes}: measured {m.measured_bps_per_node:,.0f} b/s per node, "
+            f"model {m.model_bps_per_node:,.0f} b/s, efficiency {m.efficiency:.2f}, "
+            f"{m.deliveries} deliveries, {m.evictions} evictions"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""Configuration of a RAC deployment.
+
+Defaults follow the paper's evaluation (Section VI-B): L = 5 relays,
+R = 7 rings, groups of 1000 nodes, 10 kB padded messages on 1 Gb/s
+links. Tests and examples shrink these numbers; the benches restore
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..simnet.network import GBPS
+
+__all__ = ["RacConfig"]
+
+
+@dataclass
+class RacConfig:
+    """All tunables of one RAC system.
+
+    Attributes mirror the paper's symbols: ``num_relays`` is L,
+    ``num_rings`` is R, ``group_max``/``group_min`` bound the group
+    size G (Section IV-C's ``smax``/``smin``).
+    """
+
+    # -- protocol shape (paper Section VI-B) --------------------------------
+    num_relays: int = 5
+    num_rings: int = 7
+    group_min: int = 500
+    group_max: int = 2000
+
+    # -- traffic -------------------------------------------------------------
+    #: Every broadcast is padded to exactly this many bytes (Section
+    #: IV-C: padding defeats packet-size traffic analysis).
+    message_size: int = 10_000
+    #: Constant sending rate: one (data or noise) message per interval,
+    #: in seconds. ``None`` lets :class:`repro.core.system.RacSystem`
+    #: derive the saturation rate from the analytic capacity model.
+    send_interval: "float | None" = 0.25
+    #: Per-node cap of queued own messages before sends are refused.
+    send_queue_limit: int = 1024
+    #: Closed-loop backpressure: when set, a node defers its origination
+    #: slot while its uplink backlog exceeds this many seconds of
+    #: serialization time — "the highest possible throughput it can
+    #: sustain" (Section III) found adaptively instead of from the
+    #: analytic interval. ``None`` disables (open-loop, the default).
+    adaptive_backlog_limit: "float | None" = None
+    #: Safety factor applied to the derived saturation interval when
+    #: ``send_interval`` is None: headers and control traffic consume a
+    #: few percent of the link, and a demand of exactly 100% would grow
+    #: queues without bound and trip the completeness timers.
+    saturation_margin: float = 1.25
+
+    # -- crypto ---------------------------------------------------------------
+    #: Key backend: "sim" (fast, interface-faithful) or "dh" (real).
+    key_backend: str = "sim"
+    #: Group-assignment puzzle difficulty (bits). The paper's mk.
+    puzzle_bits: int = 8
+
+    # -- misbehaviour detection timers (seconds) -------------------------------
+    #: How long a sender waits for each relay's re-broadcast (check 1).
+    relay_timeout: float = 3.0
+    #: How long a node waits for each predecessor's copy after first
+    #: seeing a message (check 2).
+    predecessor_timeout: float = 2.0
+    #: A group predecessor must originate traffic at least once per this
+    #: window (check 3), and at most ``rate_max_per_window`` times.
+    rate_window: float = 2.0
+    rate_max_per_window: int = 64
+    #: Period of the anonymous (shuffled) relay-blacklist dissemination.
+    blacklist_period: float = 5.0
+    #: Retransmission attempts after a relay chain breaks (each retry
+    #: builds a fresh path that excludes the blacklisted relay).
+    max_send_retries: int = 5
+    #: The paper's T: maximum time for a broadcast to reach the whole
+    #: group. Joiners become usable as relays after 2T (Section IV-C).
+    join_settle_time: float = 0.5
+    #: Groups up to this size run the real cryptographic shuffle for
+    #: blacklist dissemination; larger groups use the logical
+    #: (permute-only) equivalent to keep simulations tractable.
+    full_shuffle_max: int = 48
+
+    # -- eviction thresholds ----------------------------------------------------
+    #: Assumed fraction of opponent nodes, used to size thresholds: a
+    #: relay is evicted on f*G+1 relay accusations, a predecessor on
+    #: t+1 follower accusations (paper Section IV-C).
+    assumed_opponent_fraction: float = 0.1
+
+    # -- network -------------------------------------------------------------
+    link_bandwidth_bps: float = GBPS
+    #: Uniform per-packet extra propagation delay in [0, jitter]
+    #: seconds. 0 reproduces the paper's ideal network; robustness
+    #: tests raise it to check the timers tolerate variance.
+    propagation_jitter: float = 0.0
+
+    # -- bookkeeping ------------------------------------------------------------
+    #: Whether nodes keep full traces (protocol walkthroughs, tests).
+    trace: bool = False
+    #: Ticks between broadcast-state garbage collections (records older
+    #: than every active timer are dropped). 0 disables GC.
+    state_gc_ticks: int = 200
+
+    def __post_init__(self) -> None:
+        if self.num_relays < 1:
+            raise ValueError("at least one relay is required (L >= 1)")
+        if self.num_rings < 1:
+            raise ValueError("at least one ring is required (R >= 1)")
+        if self.group_min < 2:
+            raise ValueError("groups need at least two nodes")
+        if self.group_max < 2 * self.group_min:
+            raise ValueError("group_max must be at least 2 * group_min")
+        if self.message_size < 512:
+            raise ValueError("padded size must leave room for onion layers")
+        if not 0 <= self.assumed_opponent_fraction < 0.5:
+            raise ValueError("the assumed opponent fraction must be in [0, 0.5)")
+        if self.key_backend not in ("sim", "dh"):
+            raise ValueError(f"unknown key backend {self.key_backend!r}")
+
+    @classmethod
+    def paper(cls) -> "RacConfig":
+        """The paper's evaluation configuration (Section VI-B)."""
+        return cls()
+
+    @classmethod
+    def small(cls, **overrides) -> "RacConfig":
+        """A downsized configuration for tests, examples and demos:
+        2 relays, 3 rings, 2 kB messages, tight timers, one group."""
+        base = dict(
+            num_relays=2,
+            num_rings=3,
+            group_min=2,
+            group_max=10**9,
+            message_size=2048,
+            send_interval=0.05,
+            relay_timeout=1.0,
+            predecessor_timeout=0.5,
+            rate_window=1.0,
+            blacklist_period=2.0,
+            puzzle_bits=2,
+        )
+        base.update(overrides)
+        return cls(**base)
+
+    def predecessor_accusation_threshold(self, domain_size: int) -> int:
+        """Accusations needed to evict via follower reports: t + 1.
+
+        t is the maximum number of opponent followers a node can have,
+        estimated as ceil(f * R) capped at the successor-set size.
+        """
+        import math
+
+        t = min(self.num_rings - 1, math.ceil(self.assumed_opponent_fraction * self.num_rings))
+        return t + 1
+
+    def relay_accusation_threshold(self, group_size: int) -> int:
+        """Accusations needed to evict via relay reports: f*G + 1."""
+        import math
+
+        return math.floor(self.assumed_opponent_fraction * group_size) + 1

@@ -1,0 +1,254 @@
+"""The three misbehaviour checks of Section IV-C.
+
+Nodes check that:
+
+1. *"the relays they use to send their own messages correctly forward
+   messages"* — :class:`RelayMonitor`, run by the **sender** of an
+   onion, who can predict the ``msg_id`` of every layer it built;
+2. *"the nodes that directly precede them in the different rings of
+   channels and group correctly forward messages (once and only
+   once)"* — :class:`PredecessorMonitor`;
+3. *"the nodes that directly precede them in the different rings of
+   their group send messages at a constant rate"* —
+   :class:`RateMonitor`.
+
+All three classes are deliberately free of simulator state: time flows
+in as explicit arguments, verdicts flow out as plain data, and the node
+wires them to timers and accusation broadcasts. That keeps every rule
+unit-testable without a network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..overlay.broadcast import BroadcastState, CopyKey
+
+__all__ = ["RelaySuspicion", "RelayMonitor", "PredecessorMonitor", "RateMonitor", "RateVerdict"]
+
+
+# --------------------------------------------------------------------------
+# Check 1 — relays forward what they are given
+# --------------------------------------------------------------------------
+
+@dataclass
+class RelaySuspicion:
+    """Verdict of check 1: ``relay`` failed to re-broadcast ``msg_id``."""
+
+    relay: int
+    msg_id: int
+    onion_ref: int
+
+
+@dataclass
+class _PendingOnion:
+    """Sender-side record of one onion's expected broadcast chain."""
+
+    onion_ref: int
+    #: (expected msg_id, responsible relay) outermost-first. The first
+    #: entry is the sender's own broadcast and carries no relay.
+    chain: List[Tuple[int, Optional[int]]]
+    deadline: float
+    observed: Set[int] = field(default_factory=set)
+
+
+class RelayMonitor:
+    """Tracks every onion a node sent and blames the *first* relay whose
+    layer never appeared (paper: *"The first relay, if any, that does
+    not correctly decipher and forward the message, is suspected"*)."""
+
+    def __init__(self) -> None:
+        self._pending: Dict[int, _PendingOnion] = {}
+        self._watch: Dict[int, Set[int]] = {}  # msg_id -> onion refs
+        self._next_ref = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def expect(self, layer_msg_ids: Sequence[int], relays: Sequence[int], deadline: float) -> int:
+        """Register an onion: layer ids (L+1 of them) and its L relays.
+
+        Layer ``k >= 1`` is re-broadcast by ``relays[k-1]``. Returns an
+        opaque reference usable to correlate suspicions.
+        """
+        if len(layer_msg_ids) != len(relays) + 1:
+            raise ValueError("an onion has exactly one more layer than relays")
+        ref = self._next_ref
+        self._next_ref += 1
+        chain: List[Tuple[int, Optional[int]]] = [(layer_msg_ids[0], None)]
+        chain.extend((msg_id, relay) for msg_id, relay in zip(layer_msg_ids[1:], relays))
+        self._pending[ref] = _PendingOnion(ref, chain, deadline)
+        for msg_id, _relay in chain:
+            self._watch.setdefault(msg_id, set()).add(ref)
+        return ref
+
+    def observe(self, msg_id: int) -> None:
+        """Feed every broadcast the node sees; fulfils expectations."""
+        for ref in self._watch.get(msg_id, ()):
+            pending = self._pending.get(ref)
+            if pending is not None:
+                pending.observed.add(msg_id)
+
+    def pending_refs(self) -> "Set[int]":
+        """References of onions still awaiting their deadline."""
+        return set(self._pending)
+
+    def collect_expired(self, now: float) -> "List[RelaySuspicion]":
+        """Resolve every onion past its deadline; at most one suspicion
+        each (the first silent relay; later silence is its fault)."""
+        verdicts: List[RelaySuspicion] = []
+        expired = [ref for ref, p in self._pending.items() if p.deadline <= now]
+        for ref in expired:
+            pending = self._pending.pop(ref)
+            for msg_id, _ in pending.chain:
+                refs = self._watch.get(msg_id)
+                if refs is not None:
+                    refs.discard(ref)
+                    if not refs:
+                        del self._watch[msg_id]
+            for msg_id, relay in pending.chain:
+                if msg_id in pending.observed:
+                    continue
+                if relay is not None:
+                    verdicts.append(RelaySuspicion(relay, msg_id, ref))
+                break  # only the first gap is attributable
+        return verdicts
+
+
+# --------------------------------------------------------------------------
+# Check 2 — predecessors forward once and only once
+# --------------------------------------------------------------------------
+
+class PredecessorMonitor:
+    """Per-domain check that every (predecessor, ring) delivered every
+    message exactly once within a bounded time.
+
+    The expected (predecessor, ring) set is **frozen at first sight** of
+    each message: a node that joins the rings afterwards never owed us a
+    copy (the paper's 2T join quarantine serves the same purpose), and a
+    node evicted meanwhile is pruned via :meth:`forget_node`.
+    """
+
+    def __init__(self, timeout: float) -> None:
+        self.timeout = timeout
+        self._deadlines: List[Tuple[float, int]] = []  # (deadline, msg_id)
+        self._expected: Dict[int, Set[CopyKey]] = {}
+        self._checked: Set[int] = set()
+
+    def on_first_seen(self, msg_id: int, now: float, expected: "Set[CopyKey]") -> float:
+        """Arm the completeness deadline for a newly-seen message."""
+        deadline = now + self.timeout
+        self._deadlines.append((deadline, msg_id))
+        self._expected[msg_id] = set(expected)
+        return deadline
+
+    def forget_node(self, node_id: int) -> None:
+        """Stop expecting copies from an evicted or departed node."""
+        for expected in self._expected.values():
+            stale = {key for key in expected if key[0] == node_id}
+            expected -= stale
+
+    def due(self, now: float) -> "List[Tuple[int, Set[CopyKey]]]":
+        """(msg_id, frozen expected set) pairs whose deadline passed."""
+        ready: List[Tuple[int, Set[CopyKey]]] = []
+        remaining: List[Tuple[float, int]] = []
+        for deadline, msg_id in self._deadlines:
+            if deadline <= now and msg_id not in self._checked:
+                ready.append((msg_id, self._expected.pop(msg_id, set())))
+                self._checked.add(msg_id)
+            elif deadline > now:
+                remaining.append((deadline, msg_id))
+        self._deadlines = remaining
+        return ready
+
+    @staticmethod
+    def missing(state: BroadcastState, msg_id: int, expected: "Set[CopyKey]") -> Set[CopyKey]:
+        """(Predecessor, ring) pairs that owed a copy and never sent one."""
+        return state.missing_predecessors(msg_id, expected)
+
+    @staticmethod
+    def replaying(state: BroadcastState, msg_id: int) -> Set[CopyKey]:
+        """(Predecessor, ring) pairs that sent duplicates (replay)."""
+        return state.replaying_predecessors(msg_id)
+
+
+# --------------------------------------------------------------------------
+# Check 3 — group predecessors keep the constant rate
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RateVerdict:
+    """A rate violation by one group-ring predecessor."""
+
+    predecessor: int
+    reason: str  # "rate-low" | "rate-high"
+    count: int
+
+
+class RateMonitor:
+    """Sliding-window message counting per group predecessor.
+
+    The constant-rate obligation makes noise mandatory (Lemma 6): a
+    predecessor from whom *nothing* arrives for a full window is
+    accused of ``rate-low``; one who floods beyond
+    ``max_per_window`` is accused of ``rate-high`` (an opponent
+    flooding to waste resources, Lemma 7).
+    """
+
+    def __init__(self, window: float, max_per_window: int) -> None:
+        if window <= 0:
+            raise ValueError("rate window must be positive")
+        self.window = window
+        self.max_per_window = max_per_window
+        self._arrivals: Dict[int, List[float]] = {}
+        self._tracked_since: Dict[int, float] = {}
+
+    def track(self, predecessor: int, now: float) -> None:
+        """Start watching a predecessor (on topology change)."""
+        self._tracked_since.setdefault(predecessor, now)
+        self._arrivals.setdefault(predecessor, [])
+
+    def untrack(self, predecessor: int) -> None:
+        self._tracked_since.pop(predecessor, None)
+        self._arrivals.pop(predecessor, None)
+
+    def tracked(self) -> Set[int]:
+        return set(self._tracked_since)
+
+    def record(self, predecessor: int, now: float) -> None:
+        """One message arrived from ``predecessor``."""
+        if predecessor not in self._tracked_since:
+            self.track(predecessor, now)
+        self._arrivals[predecessor].append(now)
+        self._trim(predecessor, now)
+
+    def _trim(self, predecessor: int, now: float) -> None:
+        horizon = now - self.window
+        arrivals = self._arrivals[predecessor]
+        keep_from = 0
+        while keep_from < len(arrivals) and arrivals[keep_from] < horizon:
+            keep_from += 1
+        if keep_from:
+            del arrivals[:keep_from]
+
+    def check(self, now: float, max_per_window: "int | None" = None) -> "List[RateVerdict]":
+        """Evaluate every tracked predecessor's window.
+
+        ``max_per_window`` overrides the constructor default: a
+        predecessor legitimately forwards *every* group broadcast, so
+        the cap must scale with group size and the system rate (the
+        node computes it from its current view).
+        """
+        cap = max_per_window if max_per_window is not None else self.max_per_window
+        verdicts: List[RateVerdict] = []
+        for predecessor, since in self._tracked_since.items():
+            if now - since < self.window:
+                continue  # not observed long enough to judge
+            self._trim(predecessor, now)
+            count = len(self._arrivals[predecessor])
+            if count == 0:
+                verdicts.append(RateVerdict(predecessor, "rate-low", 0))
+            elif count > cap:
+                verdicts.append(RateVerdict(predecessor, "rate-high", count))
+        return verdicts

@@ -1,0 +1,260 @@
+"""Binary wire codecs for every RAC message type.
+
+The simulator ships Python objects with declared sizes for speed, but a
+real deployment frames bytes; this module provides the byte-level
+encoding — so the declared sizes are honest (the node charges control
+messages by their encoded size) and so the protocol could be lifted
+onto real sockets without redesign.
+
+Format conventions: network byte order, 16-byte node/message ids,
+length-prefixed variable fields, one leading type tag byte.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Union
+
+from ..crypto.keys import PublicKey
+from .messages import (
+    Accusation,
+    BlacklistShare,
+    Broadcast,
+    DomainId,
+    EvictionNotice,
+    JoinAnnounce,
+    JoinRequest,
+    ReadyMessage,
+)
+
+__all__ = ["encode_message", "decode_message", "encoded_size", "WireError"]
+
+
+class WireError(Exception):
+    """Raised on malformed frames."""
+
+
+_TAG_BROADCAST = 1
+_TAG_ACCUSATION = 2
+_TAG_JOIN_REQUEST = 3
+_TAG_JOIN_ANNOUNCE = 4
+_TAG_READY = 5
+_TAG_EVICTION = 6
+_TAG_BLACKLIST = 7
+
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+_ID_LEN = 16
+
+_DOMAIN_GROUP = 0
+_DOMAIN_CHANNEL = 1
+
+
+def _put_id(value: int) -> bytes:
+    if not 0 <= value < (1 << 128):
+        raise WireError(f"id out of range: {value}")
+    return value.to_bytes(_ID_LEN, "big")
+
+
+def _put_bytes(data: bytes) -> bytes:
+    return _U32.pack(len(data)) + data
+
+
+def _put_str(text: str) -> bytes:
+    return _put_bytes(text.encode("utf-8"))
+
+
+def _put_domain(domain: DomainId) -> bytes:
+    kind, key = domain
+    if kind == "group":
+        return bytes([_DOMAIN_GROUP]) + _U64.pack(key)
+    if kind == "channel":
+        return bytes([_DOMAIN_CHANNEL]) + _U64.pack(key[0]) + _U64.pack(key[1])
+    raise WireError(f"unknown domain kind {kind!r}")
+
+
+def _put_key(key: PublicKey) -> bytes:
+    out = _put_str(key.backend) + _put_id(key.key_id)
+    if key.backend == "dh":
+        assert key.dh_value is not None and key.dh_group is not None
+        value_len = (key.dh_group.prime.bit_length() + 7) // 8
+        out += _put_bytes(key.dh_value.to_bytes(value_len, "big"))
+        out += _put_bytes(key.dh_group.prime.to_bytes(value_len, "big"))
+        out += _U32.pack(key.dh_group.generator)
+        out += _U32.pack(key.dh_group.exponent_bits)
+    return out
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.offset = 0
+
+    def take(self, n: int) -> bytes:
+        if self.offset + n > len(self.data):
+            raise WireError("truncated frame")
+        chunk = self.data[self.offset : self.offset + n]
+        self.offset += n
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(_U32.size))[0]
+
+    def u64(self) -> int:
+        return _U64.unpack(self.take(_U64.size))[0]
+
+    def node_id(self) -> int:
+        return int.from_bytes(self.take(_ID_LEN), "big")
+
+    def blob(self) -> bytes:
+        return self.take(self.u32())
+
+    def text(self) -> str:
+        return self.blob().decode("utf-8")
+
+    def domain(self) -> DomainId:
+        kind = self.u8()
+        if kind == _DOMAIN_GROUP:
+            return ("group", self.u64())
+        if kind == _DOMAIN_CHANNEL:
+            return ("channel", (self.u64(), self.u64()))
+        raise WireError(f"unknown domain tag {kind}")
+
+    def key(self) -> PublicKey:
+        backend = self.text()
+        key_id = self.node_id()
+        if backend == "sim":
+            return PublicKey("sim", key_id)
+        if backend == "dh":
+            from ..crypto.dh import DHGroup
+
+            value = int.from_bytes(self.blob(), "big")
+            prime = int.from_bytes(self.blob(), "big")
+            generator = self.u32()
+            exponent_bits = self.u32()
+            return PublicKey(
+                "dh", key_id, dh_value=value, dh_group=DHGroup(prime, generator, exponent_bits)
+            )
+        raise WireError(f"unknown key backend {backend!r}")
+
+    def done(self) -> None:
+        if self.offset != len(self.data):
+            raise WireError("trailing bytes in frame")
+
+
+WireMessage = Union[
+    Broadcast, Accusation, JoinRequest, JoinAnnounce, ReadyMessage, EvictionNotice, BlacklistShare
+]
+
+
+def encode_message(message: WireMessage) -> bytes:
+    """Serialize any RAC wire message to bytes."""
+    if isinstance(message, Broadcast):
+        return (
+            bytes([_TAG_BROADCAST])
+            + _put_domain(message.domain)
+            + _put_id(message.msg_id)
+            + _U32.pack(message.ring_index)
+            + _put_bytes(message.wire)
+        )
+    if isinstance(message, Accusation):
+        out = (
+            bytes([_TAG_ACCUSATION])
+            + _put_id(message.accuser)
+            + _put_id(message.accused)
+            + _put_domain(message.domain)
+            + _put_str(message.reason)
+        )
+        if message.msg_id is None:
+            return out + bytes([0])
+        return out + bytes([1]) + _put_id(message.msg_id)
+    if isinstance(message, JoinRequest):
+        return (
+            bytes([_TAG_JOIN_REQUEST])
+            + _put_id(message.node_id)
+            + _put_id(message.key_id)
+            + _put_id(message.puzzle_vector)
+            + _put_key(message.id_public_key)
+        )
+    if isinstance(message, JoinAnnounce):
+        inner = encode_message(message.request)
+        return bytes([_TAG_JOIN_ANNOUNCE]) + _put_bytes(inner) + _put_id(message.sponsor)
+    if isinstance(message, ReadyMessage):
+        return bytes([_TAG_READY]) + _put_id(message.node_id)
+    if isinstance(message, EvictionNotice):
+        return (
+            bytes([_TAG_EVICTION])
+            + _put_id(message.evicted)
+            + _U64.pack(message.from_gid)
+            + _put_id(message.notifier)
+        )
+    if isinstance(message, BlacklistShare):
+        out = bytes([_TAG_BLACKLIST]) + _U64.pack(message.group_gid)
+        out += _U32.pack(len(message.accused))
+        for accused in message.accused:
+            out += _put_id(accused)
+        return out
+    raise WireError(f"cannot encode {type(message).__name__}")
+
+
+def decode_message(data: bytes) -> WireMessage:
+    """Parse a frame produced by :func:`encode_message`."""
+    if not data:
+        raise WireError("empty frame")
+    reader = _Reader(data)
+    tag = reader.u8()
+    if tag == _TAG_BROADCAST:
+        domain = reader.domain()
+        msg_id = reader.node_id()
+        ring_index = reader.u32()
+        wire = reader.blob()
+        reader.done()
+        return Broadcast(domain, msg_id, wire, ring_index)
+    if tag == _TAG_ACCUSATION:
+        accuser = reader.node_id()
+        accused = reader.node_id()
+        domain = reader.domain()
+        reason = reader.text()
+        has_msg = reader.u8()
+        msg_id = reader.node_id() if has_msg else None
+        reader.done()
+        return Accusation(accuser, accused, domain, reason, msg_id)
+    if tag == _TAG_JOIN_REQUEST:
+        node_id = reader.node_id()
+        key_id = reader.node_id()
+        vector = reader.node_id()
+        key = reader.key()
+        reader.done()
+        return JoinRequest(node_id, key_id, vector, key)
+    if tag == _TAG_JOIN_ANNOUNCE:
+        inner = decode_message(reader.blob())
+        sponsor = reader.node_id()
+        reader.done()
+        if not isinstance(inner, JoinRequest):
+            raise WireError("join announce must wrap a join request")
+        return JoinAnnounce(inner, sponsor)
+    if tag == _TAG_READY:
+        node_id = reader.node_id()
+        reader.done()
+        return ReadyMessage(node_id)
+    if tag == _TAG_EVICTION:
+        evicted = reader.node_id()
+        from_gid = reader.u64()
+        notifier = reader.node_id()
+        reader.done()
+        return EvictionNotice(evicted, from_gid, notifier)
+    if tag == _TAG_BLACKLIST:
+        gid = reader.u64()
+        count = reader.u32()
+        accused = tuple(reader.node_id() for _ in range(count))
+        reader.done()
+        return BlacklistShare(gid, accused)
+    raise WireError(f"unknown frame tag {tag}")
+
+
+def encoded_size(message: WireMessage) -> int:
+    """Wire size of a message — what the simulator should charge."""
+    return len(encode_message(message))

@@ -1,0 +1,34 @@
+"""Cryptographic substrate for the RAC reproduction.
+
+Sub-modules:
+
+* :mod:`repro.crypto.hashes` — one-way functions ``f``/``g`` (group
+  puzzle), ring-position hashing, message identifiers;
+* :mod:`repro.crypto.dh` — Diffie-Hellman over RFC 3526 MODP groups;
+* :mod:`repro.crypto.stream` — SHA256-CTR cipher + HMAC;
+* :mod:`repro.crypto.keys` — the two-backend (``dh`` real / ``sim``
+  fast) keypair and sealed-box API the protocol code uses;
+* :mod:`repro.crypto.shuffle` — the Dissent v1 accountable shuffle.
+"""
+
+from .hashes import message_id, oneway_f, oneway_g, ring_position, sha256_int, truncated_bits
+from .keys import AuthenticationError, KeyPair, PublicKey, seal, sealed_overhead
+from .shuffle import DishonestParticipant, ShuffleParticipant, ShuffleResult, run_shuffle
+
+__all__ = [
+    "message_id",
+    "oneway_f",
+    "oneway_g",
+    "ring_position",
+    "sha256_int",
+    "truncated_bits",
+    "AuthenticationError",
+    "KeyPair",
+    "PublicKey",
+    "seal",
+    "sealed_overhead",
+    "DishonestParticipant",
+    "ShuffleParticipant",
+    "ShuffleResult",
+    "run_shuffle",
+]

@@ -1,0 +1,108 @@
+"""Diffie-Hellman key agreement over the RFC 3526 MODP groups.
+
+This is the "real" asymmetric backend of the crypto substrate: a genuine
+ElGamal-style key-encapsulation mechanism built only on the standard
+library (``pow`` with three arguments performs fast modular
+exponentiation on big ints). RAC itself never depends on a particular
+cipher; see :mod:`repro.crypto.keys` for the backend indirection.
+
+The paper assumes a global active opponent that *cannot invert
+encryption* (Section II-A). A 2048-bit MODP group with SHA-256 key
+derivation honours that assumption for real; the simulated backend in
+:mod:`repro.crypto.keys` only mimics the interface.
+
+For test speed a 512-bit group is also provided (``GROUP_TEST``); it is
+obviously not secure and exists only to keep the full test suite fast.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass
+
+__all__ = ["DHGroup", "GROUP_2048", "GROUP_TEST", "DHPrivateKey", "DHPublicKey", "generate_keypair"]
+
+
+@dataclass(frozen=True)
+class DHGroup:
+    """A prime-order multiplicative group for Diffie-Hellman."""
+
+    prime: int
+    generator: int
+    exponent_bits: int
+
+    def random_exponent(self, rng: "secrets.SystemRandom | None" = None) -> int:
+        if rng is None:
+            return secrets.randbits(self.exponent_bits) | 1
+        return rng.getrandbits(self.exponent_bits) | 1
+
+
+# RFC 3526, group 14 (2048-bit MODP).
+_P2048 = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+
+GROUP_2048 = DHGroup(prime=_P2048, generator=2, exponent_bits=256)
+
+# A small safe prime (512 bits) for fast tests. NOT SECURE.
+_P512 = int(
+    "F52A9F64B58C0F3A5F20BC6A04264A6CB88B72051B63B41B6046AF7CB186E2C1"
+    "7C8AEAF5DFB4B8F93BA1E8A9F1577C7393AC0E9BAE7B9AF1BB941B50B91DD6BB",
+    16,
+)
+GROUP_TEST = DHGroup(prime=_P512, generator=5, exponent_bits=160)
+
+
+@dataclass(frozen=True)
+class DHPublicKey:
+    """Public half of a DH keypair (``g^x mod p``)."""
+
+    group: DHGroup
+    value: int
+
+    def fingerprint(self) -> int:
+        digest = hashlib.sha256(self.value.to_bytes((self.value.bit_length() + 7) // 8, "big"))
+        return int.from_bytes(digest.digest()[:16], "big")
+
+
+@dataclass(frozen=True)
+class DHPrivateKey:
+    """Private half of a DH keypair (the exponent ``x``)."""
+
+    group: DHGroup
+    exponent: int
+
+    def public_key(self) -> DHPublicKey:
+        return DHPublicKey(self.group, pow(self.group.generator, self.exponent, self.group.prime))
+
+    def shared_secret(self, peer: DHPublicKey) -> bytes:
+        """Raw DH shared secret ``peer^x mod p``, hashed to 32 bytes."""
+        if peer.group.prime != self.group.prime:
+            raise ValueError("DH keys belong to different groups")
+        secret = pow(peer.value, self.exponent, self.group.prime)
+        raw = secret.to_bytes((self.group.prime.bit_length() + 7) // 8, "big")
+        return hashlib.sha256(b"rac/dh-kdf" + raw).digest()
+
+
+def generate_keypair(group: DHGroup = GROUP_2048, seed: "int | None" = None) -> DHPrivateKey:
+    """Generate a DH keypair.
+
+    ``seed`` makes generation deterministic, which simulations use to
+    build reproducible populations; real deployments leave it ``None``
+    so the exponent comes from the OS entropy pool.
+    """
+    if seed is None:
+        exponent = group.random_exponent()
+    else:
+        material = hashlib.sha256(b"rac/dh-seed" + seed.to_bytes(16, "big", signed=True)).digest()
+        exponent = int.from_bytes(material, "big") % (1 << group.exponent_bits) | 1
+    return DHPrivateKey(group, exponent)

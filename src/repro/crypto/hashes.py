@@ -1,0 +1,104 @@
+"""One-way hash utilities used throughout the RAC protocol.
+
+The paper relies on one-way functions in three places:
+
+* the Herbivore-style group-assignment puzzle (Section IV-C) uses two
+  one-way functions ``f`` and ``g``: a joining node with ID public key
+  ``K`` must find a vector ``y != K`` such that the least significant
+  ``mk`` bits of ``f(K)`` equal those of ``f(y)``; its node identifier
+  is then ``g(K, y)``;
+* the Fireflies-style ring placement (Section IV-C) positions a node on
+  ring ``i`` at ``hash((ID, i))``;
+* message identifiers and duplicate suppression in the ring broadcast.
+
+All functions here are deterministic, stdlib-only (SHA-256) and return
+unsigned integers so they can be compared and sorted without caring
+about byte order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+__all__ = [
+    "sha256_int",
+    "oneway_f",
+    "oneway_g",
+    "ring_position",
+    "truncated_bits",
+    "message_id",
+]
+
+#: Number of bits retained by :func:`sha256_int`. 128 bits are plenty for
+#: collision resistance at simulation scale while keeping ints small.
+HASH_BITS = 128
+
+_HASH_MASK = (1 << HASH_BITS) - 1
+
+
+def _digest(*parts: bytes) -> bytes:
+    hasher = hashlib.sha256()
+    for part in parts:
+        # Length-prefix each part so ("ab", "c") != ("a", "bc").
+        hasher.update(struct.pack(">I", len(part)))
+        hasher.update(part)
+    return hasher.digest()
+
+
+def _to_bytes(value: "bytes | str | int") -> bytes:
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    if isinstance(value, int):
+        if value < 0:
+            raise ValueError("cannot hash negative integers")
+        length = max(1, (value.bit_length() + 7) // 8)
+        return value.to_bytes(length, "big")
+    raise TypeError(f"unhashable input type: {type(value).__name__}")
+
+
+def sha256_int(*parts: "bytes | str | int") -> int:
+    """Hash the parts and return the result as a ``HASH_BITS``-bit int."""
+    data = _digest(*[_to_bytes(p) for p in parts])
+    return int.from_bytes(data, "big") & _HASH_MASK
+
+
+def oneway_f(value: "bytes | str | int") -> int:
+    """The paper's one-way function ``f`` (group-assignment puzzle)."""
+    return sha256_int(b"rac/oneway-f", _to_bytes(value))
+
+
+def oneway_g(key: "bytes | str | int", vector: "bytes | str | int") -> int:
+    """The paper's one-way function ``g``; ``g(K, y)`` is the node ID."""
+    return sha256_int(b"rac/oneway-g", _to_bytes(key), _to_bytes(vector))
+
+
+def truncated_bits(value: int, bits: int) -> int:
+    """Return the ``bits`` least-significant bits of ``value``.
+
+    Used by the group-assignment puzzle: the puzzle is solved when
+    ``truncated_bits(f(K), mk) == truncated_bits(f(y), mk)``.
+    """
+    if bits < 0:
+        raise ValueError("bit count must be non-negative")
+    return value & ((1 << bits) - 1)
+
+
+def ring_position(node_id: int, ring_index: int) -> int:
+    """Position of a node on ring ``ring_index``.
+
+    Follows Fireflies: the position of a node on the i-th ring is the
+    hash of the couple (ID, i). Positions are compared as unsigned
+    integers; ties are broken by node id (collisions are astronomically
+    unlikely with 128-bit hashes but the overlay handles them anyway).
+    """
+    if ring_index < 0:
+        raise ValueError("ring index must be non-negative")
+    return sha256_int(b"rac/ring-position", node_id, ring_index)
+
+
+def message_id(payload: bytes) -> int:
+    """Stable identifier of a broadcast message (duplicate suppression)."""
+    return sha256_int(b"rac/message-id", payload)

@@ -1,0 +1,256 @@
+"""Accountable anonymous shuffle (Dissent v1, Corrigan-Gibbs & Ford).
+
+RAC reuses this protocol verbatim for the periodic anonymous
+dissemination of relay blacklists (Section IV-C: *"we use the shuffle
+protocol of Dissent v1 which allows permuting a set of fixed-length
+messages and broadcasting the set to all members with cryptographically
+strong anonymity"*), and the Dissent v1 baseline builds its messaging
+round on it.
+
+Protocol outline (one run, n members, fixed-length messages):
+
+1.  Every member generates two per-run keypairs: an *outer* pair and an
+    *inner* pair, and publishes both public keys.
+2.  Member ``i`` wraps its message in n inner layers (innermost sealed
+    to member n-1's inner key, outermost to member 0's), producing
+    ``C'_i``, then in n outer layers the same way, producing ``C_i``.
+3.  Members take turns in index order: member ``k`` strips its outer
+    layer from every item, applies a secret random permutation, and
+    hands the batch to member ``k+1``.
+4.  The final batch (the permuted ``C'_i``) is broadcast. Every member
+    checks that its own ``C'_i`` survived (the *go/no-go* vote).
+5.  On unanimous GO, every member reveals its inner private key and the
+    batch is peeled to the plaintext messages — in an order no member
+    can link to senders.
+6.  On NO-GO, messages are discarded, every member reveals its *outer*
+    private key and its permutation, the run is re-executed
+    deterministically, and the first member whose recorded output does
+    not match the re-execution is blamed. Inner keys are never revealed
+    on failure, so unsent messages stay secret.
+
+Accountability is what makes the shuffle freerider-proof: Lemma 4 of
+the paper leans on it ("the anonymous blacklist broadcasting protocol
+we rely on is accountable").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .keys import AuthenticationError, KeyPair, seal
+
+__all__ = ["ShuffleParticipant", "DishonestParticipant", "ShuffleResult", "run_shuffle"]
+
+
+@dataclass
+class ShuffleResult:
+    """Outcome of one accountable shuffle run."""
+
+    success: bool
+    #: Plaintext messages in shuffled order (``None`` on failure).
+    messages: Optional[List[bytes]]
+    #: Indices of members blamed by the accountability phase.
+    blamed: List[int] = field(default_factory=list)
+    #: Total messages transmitted (for cost accounting).
+    messages_sent: int = 0
+
+
+class ShuffleParticipant:
+    """An honest member of one shuffle run."""
+
+    def __init__(self, index: int, backend: str = "sim", rng: "random.Random | None" = None) -> None:
+        self.index = index
+        self.rng = rng if rng is not None else random.Random()
+        seed_base = self.rng.getrandbits(62)
+        self.outer = KeyPair.generate(backend, seed=seed_base * 4 + 1)
+        self.inner = KeyPair.generate(backend, seed=seed_base * 4 + 2)
+        self.permutation: Optional[List[int]] = None
+        self._recorded_output: Optional[List[bytes]] = None
+
+    # -- step 2: submission -------------------------------------------------
+    def build_ciphertext(
+        self,
+        message: bytes,
+        outer_keys: Sequence[KeyPair],
+        inner_keys: Sequence[KeyPair],
+    ) -> bytes:
+        """Wrap ``message`` in all inner then all outer layers."""
+        blob = message
+        for holder in reversed(inner_keys):
+            blob = seal(holder.public, blob, seed=self.rng.getrandbits(62))
+        for holder in reversed(outer_keys):
+            blob = seal(holder.public, blob, seed=self.rng.getrandbits(62))
+        return blob
+
+    # -- step 3: one anonymization hop --------------------------------------
+    def shuffle_step(self, items: List[bytes]) -> List[bytes]:
+        """Strip this member's outer layer from every item and permute."""
+        stripped = [self._strip(item) for item in items]
+        self.permutation = list(range(len(stripped)))
+        self.rng.shuffle(self.permutation)
+        output = [stripped[j] for j in self.permutation]
+        self._recorded_output = list(output)
+        return output
+
+    def _strip(self, item: bytes) -> bytes:
+        return self.outer.unseal(item)
+
+    # -- step 6: blame ------------------------------------------------------
+    def reveal_for_blame(self) -> "tuple[KeyPair, Optional[List[int]], Optional[List[bytes]]]":
+        """Reveal the outer key, permutation and recorded output."""
+        return self.outer, self.permutation, self._recorded_output
+
+
+class DishonestParticipant(ShuffleParticipant):
+    """A member that misbehaves during its shuffle step.
+
+    Modes: ``drop`` removes one item, ``duplicate`` repeats one,
+    ``corrupt`` flips bytes of one, ``replace`` substitutes garbage.
+    All four must be caught by the accountability phase.
+    """
+
+    MODES = ("drop", "duplicate", "corrupt", "replace")
+
+    def __init__(self, index: int, mode: str, backend: str = "sim", rng=None) -> None:
+        if mode not in self.MODES:
+            raise ValueError(f"unknown misbehaviour mode: {mode!r}")
+        super().__init__(index, backend=backend, rng=rng)
+        self.mode = mode
+
+    def shuffle_step(self, items: List[bytes]) -> List[bytes]:
+        output = super().shuffle_step(items)
+        victim = self.rng.randrange(len(output)) if output else 0
+        if self.mode == "drop" and output:
+            del output[victim]
+        elif self.mode == "duplicate" and output:
+            output.append(output[victim])
+        elif self.mode == "corrupt" and output:
+            tampered = bytearray(output[victim])
+            tampered[0] ^= 0xFF
+            output[victim] = bytes(tampered)
+        elif self.mode == "replace" and output:
+            output[victim] = b"\x00" * len(output[victim])
+        # Record the *honest* output but send the tampered one: a liar
+        # hides its tracks, and blame must still catch it.
+        return output
+
+
+def run_shuffle(
+    participants: Sequence[ShuffleParticipant],
+    messages: Sequence[bytes],
+) -> ShuffleResult:
+    """Execute one accountable shuffle run.
+
+    ``messages[i]`` is member ``i``'s fixed-length message. Returns the
+    shuffled plaintexts on success, or the blamed member indices on
+    failure. All messages must share one length (the paper pads
+    blacklists to a fixed size for exactly this reason).
+    """
+    n = len(participants)
+    if n == 0:
+        raise ValueError("a shuffle needs at least one member")
+    if len(messages) != n:
+        raise ValueError("one message per member is required")
+    lengths = {len(m) for m in messages}
+    if len(lengths) > 1:
+        raise ValueError(f"messages must be fixed-length, got lengths {sorted(lengths)}")
+
+    outer_keys = [p.outer for p in participants]
+    inner_keys = [p.inner for p in participants]
+    messages_sent = 0
+
+    # Step 2: every member submits its onion.
+    batch: List[bytes] = [
+        p.build_ciphertext(m, outer_keys, inner_keys) for p, m in zip(participants, messages)
+    ]
+    messages_sent += n  # submissions
+
+    # Step 3: sequential anonymization.
+    inputs_per_member: List[List[bytes]] = []
+    sent_per_member: List[List[bytes]] = []
+    current = list(batch)
+    failed_member: Optional[int] = None
+    for p in participants:
+        inputs_per_member.append(list(current))
+        try:
+            current = p.shuffle_step(current)
+        except AuthenticationError:
+            # A previous member handed us garbage we cannot strip.
+            failed_member = p.index
+            sent_per_member.append([])
+            break
+        sent_per_member.append(list(current))
+        messages_sent += len(current)
+
+    go = failed_member is None
+    if go:
+        # Step 4: go/no-go. Each member strips the remaining inner layers
+        # of every final item with *its own* inner key unavailable yet, so
+        # instead each checks that exactly one final item opens correctly
+        # through the full inner-key sequence down to its message. We
+        # perform the equivalent global check: decrypt the batch with all
+        # inner keys and verify it is a permutation of the submissions.
+        try:
+            plaintexts = _peel_inner(current, participants)
+        except AuthenticationError:
+            go = False
+            plaintexts = None
+        if go and sorted(plaintexts) != sorted(messages):
+            go = False
+        if go:
+            messages_sent += n  # inner-key reveals
+            return ShuffleResult(True, plaintexts, [], messages_sent)
+
+    # Step 6: blame via deterministic re-execution.
+    blamed = _blame(participants, inputs_per_member, sent_per_member, failed_member)
+    messages_sent += n  # outer-key reveals
+    return ShuffleResult(False, None, blamed, messages_sent)
+
+
+def _peel_inner(items: List[bytes], participants: Sequence[ShuffleParticipant]) -> List[bytes]:
+    plaintexts = []
+    for item in items:
+        blob = item
+        for p in participants:
+            blob = p.inner.unseal(blob)
+        plaintexts.append(blob)
+    return plaintexts
+
+
+def _blame(
+    participants: Sequence[ShuffleParticipant],
+    inputs_per_member: List[List[bytes]],
+    sent_per_member: List[List[bytes]],
+    failed_member: Optional[int],
+) -> List[int]:
+    """Re-execute every member's step from its revealed outer key.
+
+    Member ``k`` is blamed if the multiset of its actual output differs
+    from honestly stripping its recorded input (permutation order is a
+    member's free choice, so comparison ignores order).
+    """
+    for k, p in enumerate(participants):
+        if k >= len(inputs_per_member):
+            break
+        outer, _permutation, _recorded = p.reveal_for_blame()
+        expected: List[bytes] = []
+        corrupt_input = False
+        for item in inputs_per_member[k]:
+            try:
+                expected.append(outer.unseal(item))
+            except AuthenticationError:
+                # Input already corrupted by an earlier member; the scan
+                # would have blamed that member first, but guard anyway.
+                corrupt_input = True
+                break
+        if corrupt_input:
+            continue
+        actual = sent_per_member[k] if k < len(sent_per_member) else []
+        if sorted(actual) != sorted(expected):
+            return [k]
+    if failed_member is not None and failed_member > 0:
+        # The member before the failure point produced unstrippable data.
+        return [failed_member - 1]
+    return []

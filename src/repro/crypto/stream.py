@@ -1,0 +1,73 @@
+"""Symmetric authenticated encryption from the standard library.
+
+A SHA-256 counter-mode keystream provides the cipher and HMAC-SHA256
+provides integrity. Together with the DH KEM in :mod:`repro.crypto.dh`
+this yields an authenticated hybrid public-key scheme, which is all the
+onion layers of RAC need: a relay must be able to *detect* whether it
+successfully deciphered a layer (the paper's per-layer "flag"), which is
+exactly what the MAC check gives us.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import struct
+
+__all__ = ["keystream_xor", "mac", "verify_mac", "encrypt", "decrypt", "AuthenticationError", "MAC_LEN"]
+
+MAC_LEN = 16
+_BLOCK = 32  # SHA-256 output size
+
+
+class AuthenticationError(Exception):
+    """Raised when a MAC check fails (layer not addressed to this key)."""
+
+
+def keystream_xor(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """XOR ``data`` with a SHA256-CTR keystream; its own inverse."""
+    out = bytearray(len(data))
+    offset = 0
+    counter = 0
+    while offset < len(data):
+        block = hashlib.sha256(key + nonce + struct.pack(">Q", counter)).digest()
+        chunk = data[offset : offset + _BLOCK]
+        for i, byte in enumerate(chunk):
+            out[offset + i] = byte ^ block[i]
+        offset += _BLOCK
+        counter += 1
+    return bytes(out)
+
+
+def mac(key: bytes, data: bytes) -> bytes:
+    """Truncated HMAC-SHA256 tag over ``data``."""
+    return hmac.new(key, data, hashlib.sha256).digest()[:MAC_LEN]
+
+
+def verify_mac(key: bytes, data: bytes, tag: bytes) -> bool:
+    """Constant-time comparison of the expected tag against ``tag``."""
+    return hmac.compare_digest(mac(key, data), tag)
+
+
+def _split_key(key: bytes) -> "tuple[bytes, bytes]":
+    enc = hashlib.sha256(b"rac/enc" + key).digest()
+    auth = hashlib.sha256(b"rac/auth" + key).digest()
+    return enc, auth
+
+
+def encrypt(key: bytes, nonce: bytes, plaintext: bytes) -> bytes:
+    """Encrypt-then-MAC; the tag is prepended to the ciphertext."""
+    enc_key, auth_key = _split_key(key)
+    ciphertext = keystream_xor(enc_key, nonce, plaintext)
+    return mac(auth_key, nonce + ciphertext) + ciphertext
+
+
+def decrypt(key: bytes, nonce: bytes, blob: bytes) -> bytes:
+    """Check the tag and decrypt. Raises :class:`AuthenticationError`."""
+    if len(blob) < MAC_LEN:
+        raise AuthenticationError("ciphertext too short")
+    tag, ciphertext = blob[:MAC_LEN], blob[MAC_LEN:]
+    enc_key, auth_key = _split_key(key)
+    if not verify_mac(auth_key, nonce + ciphertext, tag):
+        raise AuthenticationError("MAC mismatch")
+    return keystream_xor(enc_key, nonce, ciphertext)

@@ -1,0 +1,207 @@
+"""Ablations: the anonymity-vs-performance tradeoff made explicit.
+
+Section I: *"RAC is scalable and it exhibits a clear tradeoff between
+anonymity and performance"* — the constants L (relays), R (rings) and
+G (group size) buy anonymity and robustness with bandwidth. These
+sweeps quantify each axis with the Section V formulas on one side and
+the saturation-throughput model on the other, and
+:func:`recommend_parameters` inverts them: given anonymity targets,
+find the cheapest (highest-throughput) configuration — the design
+procedure a RAC operator would actually run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..analysis.anonymity import receiver_break_grouped, sender_break_grouped
+from ..analysis.probability import LogProb
+from ..analysis.rings_math import majority_opponent_successors, rings_for_reliability
+from ..analysis.throughput import GBPS, rac_throughput
+from .runner import Table, format_rate
+
+__all__ = [
+    "AblationPoint",
+    "sweep_relays",
+    "sweep_rings",
+    "sweep_group_size",
+    "render_ablation",
+    "RecommendedConfig",
+    "recommend_parameters",
+]
+
+
+@dataclass
+class AblationPoint:
+    """One configuration and its costs/guarantees."""
+
+    parameter: str
+    value: int
+    throughput_bps: float
+    sender_break: LogProb
+    receiver_break: LogProb
+    majority_risk: LogProb
+
+
+def sweep_relays(
+    values=(1, 2, 3, 5, 7, 10),
+    N: int = 100_000,
+    G: int = 1000,
+    R: int = 7,
+    f: float = 0.1,
+    link_bps: float = GBPS,
+) -> "List[AblationPoint]":
+    """More relays: exponentially better sender anonymity, 1/(L+1)
+    throughput."""
+    points = []
+    for L in values:
+        points.append(
+            AblationPoint(
+                "L",
+                L,
+                rac_throughput(N, link_bps, G, L, R),
+                sender_break_grouped(N, G, f, L),
+                receiver_break_grouped(N, G, f),
+                majority_opponent_successors(R, f),
+            )
+        )
+    return points
+
+
+def sweep_rings(
+    values=(3, 5, 7, 9, 11),
+    N: int = 100_000,
+    G: int = 1000,
+    L: int = 5,
+    f: float = 0.1,
+    link_bps: float = GBPS,
+) -> "List[AblationPoint]":
+    """More rings: exponentially safer successor sets (eviction
+    robustness), 1/R throughput."""
+    points = []
+    for R in values:
+        points.append(
+            AblationPoint(
+                "R",
+                R,
+                rac_throughput(N, link_bps, G, L, R),
+                sender_break_grouped(N, G, f, L),
+                receiver_break_grouped(N, G, f),
+                majority_opponent_successors(R, f),
+            )
+        )
+    return points
+
+
+def sweep_group_size(
+    values=(100, 300, 1000, 3000, 10_000),
+    N: int = 100_000,
+    L: int = 5,
+    R: int = 7,
+    f: float = 0.1,
+    link_bps: float = GBPS,
+) -> "List[AblationPoint]":
+    """Bigger groups: larger anonymity sets, 1/G throughput — the knob
+    the paper exposes as ``smin`` (Section VI-D: "This value can be
+    increased if required by RAC users")."""
+    points = []
+    for G in values:
+        points.append(
+            AblationPoint(
+                "G",
+                G,
+                rac_throughput(N, link_bps, G, L, R),
+                sender_break_grouped(N, G, f, L),
+                receiver_break_grouped(N, G, f),
+                majority_opponent_successors(R, f),
+            )
+        )
+    return points
+
+
+def render_ablation(points: "List[AblationPoint]", title: str) -> str:
+    table = Table(
+        headers=["param", "value", "throughput", "sender break", "receiver break", "majority risk"],
+        title=title,
+    )
+    for p in points:
+        table.add_row(
+            p.parameter,
+            p.value,
+            format_rate(p.throughput_bps),
+            str(p.sender_break),
+            str(p.receiver_break),
+            str(p.majority_risk),
+        )
+    return table.render()
+
+
+@dataclass
+class RecommendedConfig:
+    """Output of the parameter optimizer."""
+
+    num_relays: int
+    num_rings: int
+    group_size: int
+    throughput_bps: float
+    sender_break: LogProb
+    majority_risk: LogProb
+
+    def describe(self) -> str:
+        return (
+            f"L={self.num_relays}, R={self.num_rings}, G={self.group_size}: "
+            f"{format_rate(self.throughput_bps)} per node, "
+            f"sender break {self.sender_break}, majority risk {self.majority_risk}"
+        )
+
+
+def recommend_parameters(
+    N: int = 100_000,
+    f: float = 0.1,
+    max_sender_break: float = 1e-6,
+    max_majority_risk: float = 1e-5,
+    min_anonymity_set: int = 1000,
+    link_bps: float = GBPS,
+    max_relays: int = 12,
+) -> RecommendedConfig:
+    """Cheapest configuration meeting the anonymity targets.
+
+    Searches L upward until the sender-break bound holds, sizes R from
+    the majority-risk bound (and the footnote-5 reliability rule), and
+    takes G = the requested anonymity set. Throughput follows; raising
+    any target strictly lowers it — the tradeoff, made procedural.
+    """
+    if not 0 < f < 0.5:
+        raise ValueError("the optimizer assumes a minority of opponents")
+    G = max(2, min_anonymity_set)
+
+    chosen_l: Optional[int] = None
+    for L in range(1, max_relays + 1):
+        if G < L + 2:
+            break
+        if sender_break_grouped(N, G, f, L).value <= max_sender_break:
+            chosen_l = L
+            break
+    if chosen_l is None:
+        raise ValueError("no relay count within bounds meets the sender-break target")
+
+    reliability_floor = rings_for_reliability(G, f)
+    chosen_r: Optional[int] = None
+    for R in range(1, 64):
+        if majority_opponent_successors(R, f).value <= max_majority_risk and R >= min(
+            reliability_floor, 32
+        ):
+            chosen_r = R
+            break
+    if chosen_r is None:
+        raise ValueError("no ring count within bounds meets the majority-risk target")
+
+    return RecommendedConfig(
+        num_relays=chosen_l,
+        num_rings=chosen_r,
+        group_size=G,
+        throughput_bps=rac_throughput(N, link_bps, G, chosen_l, chosen_r),
+        sender_break=sender_break_grouped(N, G, f, chosen_l),
+        majority_risk=majority_opponent_successors(chosen_r, f),
+    )

@@ -1,0 +1,121 @@
+"""Section V-B as an experiment: the Nash deviation scoreboard.
+
+Two complementary views:
+
+* the **analytic** table from :class:`repro.analysis.gametheory
+  .NashAnalysis` — per-lemma expected utilities;
+* the **simulated** verdicts — each freerider strategy dropped into a
+  live population, reporting whether (and how fast) the protocol
+  evicted it (``tests/integration/test_freeriders.py`` asserts them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..analysis.gametheory import NashAnalysis
+from ..core.config import RacConfig
+from ..core.system import RacSystem
+from ..freeride.strategies import ForwardDropper, NoNoise, SilentRelay
+from .runner import Table
+
+__all__ = ["nash_table", "SimulatedDeviation", "simulate_deviation", "standard_deviations"]
+
+
+def nash_table(analysis: "Optional[NashAnalysis]" = None) -> str:
+    """Render the per-lemma deviation analysis."""
+    if analysis is None:
+        analysis = NashAnalysis()
+    table = Table(
+        headers=["Lemma", "Deviation", "Detection p", "E[rounds alive]", "Utility gain", "Rational?"],
+        title=(
+            "Nash deviation analysis "
+            f"(R={analysis.R}, L={analysis.L}, G={analysis.G}, f={analysis.f:.0%})"
+        ),
+    )
+    for outcome in analysis.evaluate_all():
+        d = outcome.deviation
+        rounds = outcome.expected_rounds_until_eviction
+        table.add_row(
+            d.lemma,
+            d.name,
+            f"{d.detection_probability:.3g}",
+            "inf" if rounds == float("inf") else f"{rounds:.0f}",
+            f"{outcome.gain:+.1f}",
+            "YES (violation!)" if outcome.deviation_is_rational else "no",
+        )
+    verdict = "holds" if analysis.is_nash_equilibrium() else "VIOLATED"
+    return table.render() + f"\nTheorem 1 (Nash equilibrium): {verdict}"
+
+
+@dataclass
+class SimulatedDeviation:
+    """A live-population verdict for one deviating node."""
+
+    strategy: str
+    evicted: bool
+    eviction_time: Optional[float]
+    false_evictions: int
+    population: int
+
+
+def _small_config() -> RacConfig:
+    return RacConfig(
+        num_relays=2,
+        num_rings=3,
+        group_min=2,
+        group_max=10**9,
+        message_size=2048,
+        send_interval=0.05,
+        relay_timeout=0.8,
+        predecessor_timeout=0.5,
+        rate_window=1.0,
+        blacklist_period=1.0,
+        puzzle_bits=2,
+    )
+
+
+def standard_deviations() -> "Dict[str, Callable[[], object]]":
+    """The simulable deviations (detectable ones; the undetectable
+    lemmas are analytic-only by nature)."""
+    return {
+        "drop-forwarding": lambda: ForwardDropper(1.0),
+        "silent-relay": SilentRelay,
+        "skip-noise": NoNoise,
+    }
+
+
+def simulate_deviation(
+    strategy_name: str,
+    population: int = 14,
+    seed: int = 3,
+    max_time: float = 30.0,
+) -> SimulatedDeviation:
+    """Drop one deviating node into an honest population and watch.
+
+    Traffic is generated in a ring of flows (every honest node sends to
+    the next) so relays and forwards are continuously exercised.
+    """
+    factories = standard_deviations()
+    if strategy_name not in factories:
+        raise ValueError(f"unknown simulable strategy {strategy_name!r}")
+    config = _small_config()
+    system = RacSystem(config, seed=seed)
+    nodes = system.bootstrap(population, behaviors={0: factories[strategy_name]()})
+    deviant = nodes[0]
+    honest = [n for n in nodes if n != deviant]
+    system.run(1.2)
+    step = 0
+    while system.now < max_time and deviant not in system.evicted:
+        for i, src in enumerate(honest):
+            system.send(src, honest[(i + 1) % len(honest)], b"flow-%d" % step)
+        system.run(0.6)
+        step += 1
+    return SimulatedDeviation(
+        strategy=strategy_name,
+        evicted=deviant in system.evicted,
+        eviction_time=system.evicted[deviant]["at"] if deviant in system.evicted else None,
+        false_evictions=sum(1 for n in system.evicted if n != deviant),
+        population=population,
+    )

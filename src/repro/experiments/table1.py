@@ -1,0 +1,119 @@
+"""Table I: anonymity guarantees of the five protocols at N = 100 000.
+
+For each opponent share P ∈ {90 %, 50 %, 10 %} (the paper's row order)
+and each property T ∈ {sender, receiver, unlinkability}, the
+probability that a global active opponent controlling P % of the nodes
+breaks T for a given node, per protocol:
+
+* Dissent v1 / v2: 0 (break requires all nodes / all trusted servers);
+* onion routing: the all-opponent path draw, identical for the three
+  properties in the paper's table;
+* RAC-NoGroup: sender = the path draw; receiver/unlinkability = 0
+  (the opponent would need all N−1 other nodes);
+* RAC-1000: sender = the grouped maximization of §V-A1a;
+  receiver/unlinkability = control of the whole destination group but
+  one (values down to 5.8e-1020, hence log-space arithmetic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..analysis.anonymity import (
+    anonymity_set_size,
+    dissent_break,
+    onion_routing_break,
+    receiver_break_grouped,
+    receiver_break_nogroup,
+    sender_break_grouped,
+    sender_break_nogroup,
+    unlinkability_break_grouped,
+    unlinkability_break_nogroup,
+)
+from ..analysis.probability import LogProb
+from .runner import Table
+
+__all__ = ["Table1Result", "table1", "PROTOCOL_COLUMNS", "PROPERTIES"]
+
+PROTOCOL_COLUMNS = ("Dissent v1", "Dissent v2", "Onion", "RAC-NoGroup", "RAC-1000")
+PROPERTIES = ("sender", "receiver", "unlinkability")
+
+
+@dataclass
+class Table1Result:
+    """All Table I cells, keyed by (P, property, protocol)."""
+
+    N: int
+    G: int
+    L: int
+    fractions: Tuple[float, ...]
+    set_sizes: Dict[str, int] = field(default_factory=dict)
+    cells: Dict[Tuple[float, str, str], LogProb] = field(default_factory=dict)
+
+    def cell(self, fraction: float, prop: str, protocol: str) -> LogProb:
+        return self.cells[(fraction, prop, protocol)]
+
+    def render(self) -> str:
+        table = Table(
+            headers=["P", "Anonymity type"] + list(PROTOCOL_COLUMNS),
+            title=f"Table I — anonymity guarantees, N={self.N}, G={self.G}, L={self.L}",
+        )
+        table.add_row(
+            "", "one among", *[str(self.set_sizes[p]) for p in PROTOCOL_COLUMNS]
+        )
+        for fraction in self.fractions:
+            for prop in PROPERTIES:
+                table.add_row(
+                    f"{fraction:.0%}",
+                    prop,
+                    *[str(self.cells[(fraction, prop, p)]) for p in PROTOCOL_COLUMNS],
+                )
+        return table.render()
+
+
+def table1(
+    N: int = 100_000,
+    G: int = 1000,
+    L: int = 5,
+    fractions: Tuple[float, ...] = (0.9, 0.5, 0.1),
+) -> Table1Result:
+    """Regenerate every cell of Table I."""
+    result = Table1Result(N=N, G=G, L=L, fractions=fractions)
+    result.set_sizes = {
+        "Dissent v1": anonymity_set_size(N, None),
+        "Dissent v2": anonymity_set_size(N, None),
+        "Onion": anonymity_set_size(N, None),
+        "RAC-NoGroup": anonymity_set_size(N, None),
+        "RAC-1000": anonymity_set_size(N, G),
+    }
+    for f in fractions:
+        onion = onion_routing_break(N, f, L)
+        dissent = dissent_break(f)
+        per_property = {
+            "sender": {
+                "Dissent v1": dissent,
+                "Dissent v2": dissent,
+                "Onion": onion,
+                "RAC-NoGroup": sender_break_nogroup(N, f, L),
+                "RAC-1000": sender_break_grouped(N, G, f, L),
+            },
+            "receiver": {
+                "Dissent v1": dissent,
+                "Dissent v2": dissent,
+                "Onion": onion,
+                "RAC-NoGroup": receiver_break_nogroup(N, f),
+                "RAC-1000": receiver_break_grouped(N, G, f),
+            },
+            "unlinkability": {
+                "Dissent v1": dissent,
+                "Dissent v2": dissent,
+                "Onion": onion,
+                "RAC-NoGroup": unlinkability_break_nogroup(N, f),
+                "RAC-1000": unlinkability_break_grouped(N, G, f),
+            },
+        }
+        for prop, row in per_property.items():
+            for protocol, value in row.items():
+                result.cells[(f, prop, protocol)] = value
+    return result

@@ -1,0 +1,32 @@
+"""Freerider and opponent behaviours (Section V's deviation model).
+
+* :mod:`repro.freeride.strategies` — freeriders: resource-saving
+  unilateral deviations, one per lemma of the Nash proof;
+* :mod:`repro.freeride.adversary` — opponents: anonymity-breaking and
+  eviction-forcing active attacks.
+"""
+
+from .adversary import FalseAccuser, Flooder, PathDropOpponent, ReplayAttacker
+from .selective import SelectiveDropper
+from .strategies import (
+    ForwardDropper,
+    FullFreerider,
+    LyingShuffler,
+    NoChecks,
+    NoNoise,
+    SilentRelay,
+)
+
+__all__ = [
+    "FalseAccuser",
+    "Flooder",
+    "PathDropOpponent",
+    "ReplayAttacker",
+    "SelectiveDropper",
+    "ForwardDropper",
+    "FullFreerider",
+    "LyingShuffler",
+    "NoChecks",
+    "NoNoise",
+    "SilentRelay",
+]

@@ -1,0 +1,36 @@
+"""Domain-selective freeriding.
+
+A smarter freerider saves bandwidth only where it thinks nobody is
+looking: channels are transient (they exist only while cross-group
+traffic flows), so dropping *channel* forwards while behaving perfectly
+on group rings is the cheapest plausible deviation. The paper's check 2
+explicitly covers it — predecessors are monitored *"in the different
+rings of channels and group"* — and the integration tests confirm
+channel successors accuse just the same.
+"""
+
+from __future__ import annotations
+
+from ..core.behavior import HonestBehavior
+
+__all__ = ["SelectiveDropper"]
+
+
+class SelectiveDropper(HonestBehavior):
+    """Drops forwarding only in domains of the given kind."""
+
+    name = "selective-dropper"
+
+    def __init__(self, domain_kind: str = "channel") -> None:
+        if domain_kind not in ("group", "channel"):
+            raise ValueError("domain kind must be 'group' or 'channel'")
+        self.domain_kind = domain_kind
+        self.drops = 0
+        self.forwards = 0
+
+    def should_forward_broadcast(self, node, domain, msg_id, ring_index) -> bool:
+        if domain[0] == self.domain_kind:
+            self.drops += 1
+            return False
+        self.forwards += 1
+        return True

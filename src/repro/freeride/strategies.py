@@ -1,0 +1,151 @@
+"""Freerider strategies: the unilateral deviations of Section V-B.
+
+Each class deviates on exactly one (or one bundle) of the decision
+points enumerated by Lemmas 1-7, so experiments can measure the cost of
+each deviation in isolation:
+
+========================  ======  =======================================
+Strategy                  Lemma   Deviation
+========================  ======  =======================================
+:class:`ForwardDropper`   1       does not forward (some) received
+                                  broadcasts to its ring successors
+:class:`SilentRelay`      2       accepts onion layers but never
+                                  re-broadcasts them
+:class:`NoChecks`         3, 7    skips predecessor/rate checking
+:class:`LyingShuffler`    4       submits junk to the blacklist shuffle
+:class:`NoNoise`          6       stays silent instead of sending noise
+:class:`FullFreerider`    1-7     all of the above at once
+========================  ======  =======================================
+
+Lemma 5 (dropping JOIN requests) is modelled at the system level: the
+join handshake is sponsored, and a sponsor that drops it simply gains
+nothing (see :mod:`repro.analysis.gametheory` for the utility
+argument).
+
+All strategies subclass :class:`repro.core.behavior.HonestBehavior`;
+a freerider follows the protocol except where freeriding saves
+resources — exactly the paper's model.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.behavior import HonestBehavior
+
+__all__ = [
+    "ForwardDropper",
+    "SilentRelay",
+    "NoNoise",
+    "NoChecks",
+    "LyingShuffler",
+    "FullFreerider",
+]
+
+
+class ForwardDropper(HonestBehavior):
+    """Drops ring forwarding with probability ``drop_probability``.
+
+    The cheapest possible deviation — forwarding is the dominant cost —
+    and the most reliably detected one: every ring successor notices
+    the missing copy (check 2) and accuses.
+    """
+
+    name = "forward-dropper"
+
+    def __init__(self, drop_probability: float = 1.0, seed: int = 0) -> None:
+        if not 0 <= drop_probability <= 1:
+            raise ValueError("drop probability must be in [0, 1]")
+        self.drop_probability = drop_probability
+        self._rng = random.Random(seed)
+        self.drops = 0
+
+    def should_forward_broadcast(self, node, domain, msg_id, ring_index) -> bool:
+        if self._rng.random() < self.drop_probability:
+            self.drops += 1
+            return False
+        return True
+
+
+class SilentRelay(HonestBehavior):
+    """Performs no relay work: peels layers but never re-broadcasts.
+
+    Saves one broadcast per onion routed through it; detected by the
+    onion's *sender* (check 1), blacklisted, and — once f*G+1 senders
+    agree through the anonymous shuffle — evicted.
+    """
+
+    name = "silent-relay"
+
+    def __init__(self) -> None:
+        self.refused = 0
+
+    def should_relay_onion(self, node, peel_result) -> bool:
+        self.refused += 1
+        return False
+
+
+class NoNoise(HonestBehavior):
+    """Sends no noise messages (saves bandwidth when idle).
+
+    Its successors stop hearing from it whenever it has neither data
+    nor relay duty, which trips the rate-low check (check 3).
+    """
+
+    name = "no-noise"
+
+    def should_send_noise(self, node) -> bool:
+        return False
+
+
+class NoChecks(HonestBehavior):
+    """Skips all monitoring (saves CPU and accusation bandwidth).
+
+    Not directly detectable — but Lemmas 3 and 7 show the deviation is
+    still irrational: an unchecked predecessor can replay or starve the
+    freerider itself.
+    """
+
+    name = "no-checks"
+
+    def should_run_checks(self, node) -> bool:
+        return False
+
+
+class LyingShuffler(HonestBehavior):
+    """Submits an empty blacklist to the shuffle instead of the truth.
+
+    Lemma 4: shuffle messages are fixed-length, so lying saves nothing;
+    this class exists to verify that claim experimentally (the byte
+    count of shuffle rounds is identical either way).
+    """
+
+    name = "lying-shuffler"
+
+    def blacklist_share(self, node) -> "tuple[int, ...]":
+        return ()
+
+
+class FullFreerider(HonestBehavior):
+    """Every deviation at once: the maximally lazy node."""
+
+    name = "full-freerider"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._forward = ForwardDropper(1.0, seed=seed)
+        self._relay = SilentRelay()
+
+    def should_forward_broadcast(self, node, domain, msg_id, ring_index) -> bool:
+        return self._forward.should_forward_broadcast(node, domain, msg_id, ring_index)
+
+    def should_relay_onion(self, node, peel_result) -> bool:
+        return self._relay.should_relay_onion(node, peel_result)
+
+    def should_send_noise(self, node) -> bool:
+        return False
+
+    def should_run_checks(self, node) -> bool:
+        return False
+
+    def blacklist_share(self, node) -> "tuple[int, ...]":
+        return ()

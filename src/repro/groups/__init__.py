@@ -1,0 +1,23 @@
+"""Group management substrate (Herbivore-style assignment, channels).
+
+* :mod:`repro.groups.assignment` — the one-way-function join puzzle;
+* :mod:`repro.groups.manager` — interval-partitioned groups with
+  split/dissolve lifecycle;
+* :mod:`repro.groups.channels` — union-of-two-groups channel views.
+"""
+
+from .assignment import PuzzleSolution, expected_attempts, solve_puzzle, verify_puzzle
+from .channels import ChannelDirectory, channel_key
+from .manager import Group, GroupDirectory, GroupEvent
+
+__all__ = [
+    "PuzzleSolution",
+    "expected_attempts",
+    "solve_puzzle",
+    "verify_puzzle",
+    "ChannelDirectory",
+    "channel_key",
+    "Group",
+    "GroupDirectory",
+    "GroupEvent",
+]

@@ -1,0 +1,78 @@
+"""Group-assignment puzzle (Herbivore-inspired, Section IV-C).
+
+A joining node cannot pick its group: *"The new-coming node has to
+generate random vectors until it finds a vector y != K such that the
+least significant mk bits of f(K) are equal to those of f(y). The value
+g(K, y) gives n the value of its ID."* Because ``f`` and ``g`` are
+one-way, steering the resulting ID towards a chosen group requires
+brute force exponential in the ID width, while honest joining costs an
+expected ``2^mk`` evaluations of ``f``.
+
+The group a node lands in is then determined by its ID alone (the
+interval-partition in :mod:`repro.groups.manager`), which is what makes
+the Table I anonymity numbers of RAC-1000 *better* than RAC-NoGroup: an
+opponent cannot concentrate its nodes in a victim's group.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..crypto.hashes import oneway_f, oneway_g, truncated_bits
+
+__all__ = ["PuzzleSolution", "solve_puzzle", "verify_puzzle", "expected_attempts"]
+
+#: Default puzzle difficulty (bits that must match). 2^16 hash calls on
+#: average per join — noticeable work, negligible for a simulation.
+DEFAULT_MK = 16
+
+
+@dataclass(frozen=True)
+class PuzzleSolution:
+    """A verified (K, y) pair and the node ID it yields."""
+
+    key_id: int
+    vector: int
+    node_id: int
+    mk: int
+    attempts: int
+
+
+def solve_puzzle(key_id: int, mk: int = DEFAULT_MK, rng: "random.Random | None" = None) -> PuzzleSolution:
+    """Find ``y != K`` with matching low ``mk`` bits of ``f``.
+
+    ``rng`` controls the candidate sequence; the expected number of
+    attempts is ``2^mk`` regardless.
+    """
+    if mk < 0:
+        raise ValueError("puzzle difficulty must be non-negative")
+    if rng is None:
+        rng = random.Random()
+    target = truncated_bits(oneway_f(key_id), mk)
+    attempts = 0
+    while True:
+        attempts += 1
+        y = rng.getrandbits(128)
+        if y == key_id:
+            continue
+        if truncated_bits(oneway_f(y), mk) == target:
+            return PuzzleSolution(key_id, y, oneway_g(key_id, y), mk, attempts)
+
+
+def verify_puzzle(key_id: int, vector: int, node_id: int, mk: int = DEFAULT_MK) -> bool:
+    """Re-check a claimed solution — run by every group member on JOIN.
+
+    (Paper: *"all nodes of the group verify that the ID of n is
+    correct. If the ID is not correct, the request is ignored."*)
+    """
+    if vector == key_id:
+        return False
+    if truncated_bits(oneway_f(key_id), mk) != truncated_bits(oneway_f(vector), mk):
+        return False
+    return oneway_g(key_id, vector) == node_id
+
+
+def expected_attempts(mk: int) -> int:
+    """Expected puzzle cost in evaluations of ``f``."""
+    return 1 << mk

@@ -1,0 +1,68 @@
+"""Channels: the super-groups used for inter-group delivery.
+
+Section IV-B: when sender and destination live in different groups, the
+last relay broadcasts the innermost onion *"in a super group constituted
+of the union of the two groups, i.e., its group and the group of the
+destination. This super group is what we call a channel."*
+
+A channel's broadcast rings span the union of both member sets, so its
+topology must be rebuilt whenever either group changes. The directory
+builds channels lazily and caches them against the membership versions
+they were derived from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..overlay.membership import MembershipView
+from .manager import GroupDirectory
+
+__all__ = ["channel_key", "ChannelDirectory"]
+
+
+def channel_key(gid_a: int, gid_b: int) -> "Tuple[int, int]":
+    """Canonical (order-free) identifier of the channel between two groups."""
+    if gid_a == gid_b:
+        raise ValueError("a channel joins two distinct groups")
+    return (gid_a, gid_b) if gid_a < gid_b else (gid_b, gid_a)
+
+
+class ChannelDirectory:
+    """Lazily-built union views over pairs of groups."""
+
+    def __init__(self, directory: GroupDirectory) -> None:
+        self.directory = directory
+        self._cache: Dict[Tuple[int, int], Tuple[Tuple[int, int], MembershipView]] = {}
+
+    def channel_view(self, gid_a: int, gid_b: int) -> MembershipView:
+        """The membership view of the channel between two groups.
+
+        Rebuilt when either group's membership changed since the cached
+        copy was made.
+        """
+        key = channel_key(gid_a, gid_b)
+        group_a = self.directory.groups[key[0]]
+        group_b = self.directory.groups[key[1]]
+        version = (len(group_a), len(group_b), _members_token(group_a), _members_token(group_b))
+        cached = self._cache.get(key)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        view = MembershipView(self.directory.num_rings)
+        for group in (group_a, group_b):
+            for node_id in group.members:
+                view.add(node_id, group.view.id_key(node_id))
+        self._cache[key] = (version, view)
+        return view
+
+    def invalidate(self) -> None:
+        """Drop all cached channels (after split/dissolve storms)."""
+        self._cache.clear()
+
+
+def _members_token(group) -> int:
+    """Order-insensitive fingerprint of a member set (cheap XOR fold)."""
+    token = 0
+    for node_id in group.members:
+        token ^= node_id
+    return token

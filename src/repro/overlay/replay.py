@@ -1,0 +1,110 @@
+"""Deterministic membership-event replay.
+
+The simulation keeps one shared view per domain (DESIGN.md, shared-view
+simplification); the property that makes this sound is that RAC's
+membership changes are *broadcast events* (JOIN announces, eviction
+completions, split/dissolve notices) folded into views by a pure,
+order-tolerant function — every correct node that receives the same
+events computes the same view, and hence (ring positions being pure
+hashes) the same topology.
+
+:class:`ReplayableView` is that fold, packaged so tests can demonstrate
+the convergence claims directly:
+
+* applying the same event log yields identical state digests;
+* duplicate deliveries (re-broadcast floods) are idempotent;
+* events about *distinct* nodes commute, so nodes that receive
+  causally-unrelated events in different orders still converge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Set
+
+from ..crypto.hashes import sha256_int
+from ..crypto.keys import PublicKey
+from .membership import MembershipView
+
+__all__ = ["ViewEvent", "ReplayableView", "converged"]
+
+
+@dataclass(frozen=True)
+class ViewEvent:
+    """One membership change as broadcast to a domain.
+
+    ``seq`` orders events about the *same* node (a node can leave and
+    rejoin); events about different nodes need no mutual order.
+    """
+
+    kind: str  # "add" | "remove"
+    node_id: int
+    seq: int
+    id_key: Optional[PublicKey] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("add", "remove"):
+            raise ValueError(f"unknown membership event kind {self.kind!r}")
+        if self.seq < 0:
+            raise ValueError("event sequence numbers are non-negative")
+
+    def dedup_token(self) -> "tuple[str, int, int]":
+        return (self.kind, self.node_id, self.seq)
+
+
+class ReplayableView:
+    """A membership view driven purely by folding events."""
+
+    def __init__(self, num_rings: int) -> None:
+        self.view = MembershipView(num_rings)
+        self._applied: Set["tuple[str, int, int]"] = set()
+        #: Highest seq applied per node — stale reorderings are dropped.
+        self._latest_seq: dict = {}
+
+    def apply(self, event: ViewEvent) -> bool:
+        """Fold one event; returns True if it changed anything.
+
+        Duplicates (same dedup token) and stale events (lower seq than
+        one already applied for the node) are ignored, which is what
+        makes flooding-based delivery safe.
+        """
+        token = event.dedup_token()
+        if token in self._applied:
+            return False
+        self._applied.add(token)
+        latest = self._latest_seq.get(event.node_id, -1)
+        if event.seq < latest:
+            return False
+        self._latest_seq[event.node_id] = event.seq
+        if event.kind == "add":
+            if event.node_id in self.view:
+                return False
+            self.view.add(event.node_id, event.id_key)
+        else:
+            if event.node_id not in self.view:
+                return False
+            self.view.remove(event.node_id)
+        return True
+
+    def apply_all(self, events: "Iterable[ViewEvent]") -> int:
+        """Fold a batch; returns how many events changed state."""
+        return sum(1 for event in events if self.apply(event))
+
+    def state_digest(self) -> int:
+        """Order-insensitive fingerprint of the current member set.
+
+        Two replicas with equal digests have identical views and
+        therefore identical ring topologies.
+        """
+        digest = 0
+        for node_id in self.view.members:
+            key = self.view.id_key(node_id)
+            key_part = key.key_id if key is not None else 0
+            digest ^= sha256_int(b"rac/view-digest", node_id, key_part)
+        return digest
+
+
+def converged(replicas: "Iterable[ReplayableView]") -> bool:
+    """True when every replica holds the identical view."""
+    digests = {replica.state_digest() for replica in replicas}
+    return len(digests) <= 1

@@ -1,0 +1,36 @@
+"""Discrete-event network simulation substrate (Omnet++ substitute).
+
+* :mod:`repro.simnet.engine` — calendar-queue event scheduler;
+* :mod:`repro.simnet.network` — star topology with serializing 1 Gb/s
+  up/downlinks and an ideal router (the paper's Section VI-A setting);
+* :mod:`repro.simnet.transport` — TCP-like reliable FIFO per-pair
+  delivery (paper footnote 6);
+* :mod:`repro.simnet.stats` — throughput meters and counters;
+* :mod:`repro.simnet.trace` — structured protocol event tracing.
+"""
+
+from .engine import ScheduledEvent, SimulationError, Simulator
+from .network import DEFAULT_PROPAGATION_DELAY, GBPS, Link, Packet, StarNetwork
+from .stats import Counter, LatencyMeter, StatsRegistry, ThroughputMeter, summarize
+from .trace import TraceEvent, Tracer
+from .transport import ReliableTransport, Segment
+
+__all__ = [
+    "ScheduledEvent",
+    "SimulationError",
+    "Simulator",
+    "DEFAULT_PROPAGATION_DELAY",
+    "GBPS",
+    "Link",
+    "Packet",
+    "StarNetwork",
+    "Counter",
+    "LatencyMeter",
+    "StatsRegistry",
+    "ThroughputMeter",
+    "summarize",
+    "TraceEvent",
+    "Tracer",
+    "ReliableTransport",
+    "Segment",
+]

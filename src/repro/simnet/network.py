@@ -1,0 +1,189 @@
+"""Star-topology network model (nodes interconnected by a router).
+
+The paper's setting (Sections III and VI-A): *"we simulate a network of
+nodes interconnected by a router. Nodes are connected to the router
+using 1 Gb/s links. We use this ideal network configuration as it
+allows evaluating the maximum throughput that each protocol can
+achieve."*
+
+The model therefore captures exactly two resources:
+
+* every node's **uplink** (node → router) serializes its outgoing
+  traffic at the link rate;
+* every node's **downlink** (router → node) serializes its incoming
+  traffic at the link rate.
+
+The router itself is non-blocking (an ideal switch). Each transfer
+additionally pays a small fixed propagation delay. Payloads are opaque
+Python objects carried next to an explicit byte size, so protocol
+simulations can ship rich objects while the network only accounts for
+their declared wire size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict
+
+from .engine import Simulator
+
+__all__ = ["Packet", "Link", "StarNetwork", "GBPS", "DEFAULT_PROPAGATION_DELAY"]
+
+#: 1 Gb/s in bits per second — the paper's link rate.
+GBPS = 1_000_000_000
+
+#: Propagation delay per hop; small and identical for everyone, so it
+#: shifts latency without affecting saturation throughput.
+DEFAULT_PROPAGATION_DELAY = 50e-6
+
+
+@dataclass
+class Packet:
+    """A message in flight: opaque payload plus accounted wire size."""
+
+    src: int
+    dst: int
+    payload: Any
+    size_bytes: int
+    sent_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("packets must have a positive size")
+
+
+class Link:
+    """A serializing FIFO link of fixed bandwidth.
+
+    The link keeps a *busy-until* horizon: a packet handed over at time
+    ``t`` starts serializing at ``max(t, busy_until)`` and finishes one
+    transmission time later. This is the standard fluid model for a
+    store-and-forward interface and reproduces saturation behaviour
+    without per-byte events.
+    """
+
+    def __init__(self, sim: Simulator, bandwidth_bps: float) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.busy_until = 0.0
+        self.bytes_carried = 0
+        self.packets_carried = 0
+
+    def transmission_time(self, size_bytes: int) -> float:
+        return size_bytes * 8 / self.bandwidth_bps
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time this link spent transmitting."""
+        if self.sim.now <= 0:
+            return 0.0
+        busy = min(self.busy_until, self.sim.now)
+        return min(1.0, (self.bytes_carried * 8 / self.bandwidth_bps) / self.sim.now) if busy else 0.0
+
+    def enqueue(self, size_bytes: int, deliver: Callable[[], None]) -> float:
+        """Schedule ``deliver`` for when the last byte leaves the link.
+
+        Returns the departure time.
+        """
+        start = max(self.sim.now, self.busy_until)
+        departure = start + self.transmission_time(size_bytes)
+        self.busy_until = departure
+        self.bytes_carried += size_bytes
+        self.packets_carried += 1
+        self.sim.schedule_at(departure, deliver)
+        return departure
+
+    def queue_delay(self) -> float:
+        """Current backlog, in seconds of serialization time."""
+        return max(0.0, self.busy_until - self.sim.now)
+
+
+class StarNetwork:
+    """N nodes, each with a dedicated uplink and downlink to one router.
+
+    Protocol stacks attach one receive handler per node with
+    :meth:`attach`; :meth:`send` moves a packet across
+    uplink → (ideal router) → downlink and invokes the destination's
+    handler when the last byte arrives.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float = GBPS,
+        propagation_delay: float = DEFAULT_PROPAGATION_DELAY,
+        propagation_jitter: float = 0.0,
+        jitter_seed: int = 0,
+    ) -> None:
+        """``propagation_jitter`` adds a uniform [0, jitter] extra delay
+        per packet — the step beyond the paper's ideal network that the
+        robustness tests use (timers must tolerate real variance)."""
+        import random as _random
+
+        if propagation_jitter < 0:
+            raise ValueError("jitter cannot be negative")
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.propagation_delay = propagation_delay
+        self.propagation_jitter = propagation_jitter
+        self._jitter_rng = _random.Random(jitter_seed)
+        self.uplinks: Dict[int, Link] = {}
+        self.downlinks: Dict[int, Link] = {}
+        self._handlers: Dict[int, Callable[[Packet], None]] = {}
+        self.packets_delivered = 0
+        self.bytes_delivered = 0
+
+    # -- membership ----------------------------------------------------------
+    def attach(self, node_id: int, handler: Callable[[Packet], None]) -> None:
+        """Connect a node to the router and register its receive handler."""
+        if node_id in self._handlers:
+            raise ValueError(f"node {node_id} is already attached")
+        self.uplinks[node_id] = Link(self.sim, self.bandwidth_bps)
+        self.downlinks[node_id] = Link(self.sim, self.bandwidth_bps)
+        self._handlers[node_id] = handler
+
+    def detach(self, node_id: int) -> None:
+        """Disconnect a node; packets in flight to it are dropped."""
+        self._handlers.pop(node_id, None)
+        self.uplinks.pop(node_id, None)
+        self.downlinks.pop(node_id, None)
+
+    def attached(self, node_id: int) -> bool:
+        return node_id in self._handlers
+
+    @property
+    def node_ids(self) -> "list[int]":
+        return list(self._handlers)
+
+    # -- data path -----------------------------------------------------------
+    def send(self, src: int, dst: int, payload: Any, size_bytes: int) -> None:
+        """Transmit a packet from ``src`` to ``dst``.
+
+        Raises ``KeyError`` if the source is not attached; silently
+        drops packets whose destination detaches before delivery (the
+        sender cannot know, exactly as with a real crashed peer).
+        """
+        uplink = self.uplinks[src]
+        packet = Packet(src, dst, payload, size_bytes, sent_at=self.sim.now)
+        uplink.enqueue(size_bytes, lambda: self._at_router(packet))
+
+    def _at_router(self, packet: Packet) -> None:
+        downlink = self.downlinks.get(packet.dst)
+        if downlink is None:
+            return  # destination left the system while the packet flew
+        delay = self.propagation_delay
+        if self.propagation_jitter:
+            delay += self._jitter_rng.uniform(0, self.propagation_jitter)
+        self.sim.schedule(
+            delay,
+            lambda: downlink.enqueue(packet.size_bytes, lambda: self._deliver(packet)),
+        )
+
+    def _deliver(self, packet: Packet) -> None:
+        handler = self._handlers.get(packet.dst)
+        if handler is None:
+            return
+        self.packets_delivered += 1
+        self.bytes_delivered += packet.size_bytes
+        handler(packet)

@@ -1,0 +1,132 @@
+"""Measurement helpers for simulations.
+
+The paper's headline metric is *"the average throughput at which nodes
+receive anonymous messages"* (Section III). :class:`ThroughputMeter`
+measures exactly that; :class:`Counter` and :class:`StatsRegistry`
+collect the secondary counts (messages forwarded, noise sent,
+evictions, ...) that the tests and benches assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["ThroughputMeter", "LatencyMeter", "Counter", "StatsRegistry", "summarize"]
+
+
+class ThroughputMeter:
+    """Records (time, bytes) delivery samples and reports rates.
+
+    Rates can be computed over the whole run or over a trailing
+    warm-up-excluded window, which is what the benches use: start-up
+    transients (empty pipelines) would otherwise bias the average.
+    """
+
+    def __init__(self) -> None:
+        self.samples: List[Tuple[float, int]] = []
+        self.total_bytes = 0
+        self.count = 0
+
+    def record(self, now: float, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("cannot record negative bytes")
+        self.samples.append((now, nbytes))
+        self.total_bytes += nbytes
+        self.count += 1
+
+    def throughput_bps(self, start: float = 0.0, end: "float | None" = None) -> float:
+        """Average delivery rate in bits/s over ``[start, end]``."""
+        if not self.samples:
+            return 0.0
+        horizon = end if end is not None else self.samples[-1][0]
+        window = horizon - start
+        if window <= 0:
+            return 0.0
+        in_window = sum(nbytes for t, nbytes in self.samples if start <= t <= horizon)
+        return in_window * 8 / window
+
+    def deliveries(self, start: float = 0.0, end: "float | None" = None) -> int:
+        horizon = end if end is not None else float("inf")
+        return sum(1 for t, _ in self.samples if start <= t <= horizon)
+
+
+class LatencyMeter:
+    """Records per-message latencies and reports distribution stats."""
+
+    def __init__(self) -> None:
+        self.samples: List[float] = []
+
+    def record(self, latency: float) -> None:
+        if latency < 0:
+            raise ValueError("latency cannot be negative")
+        self.samples.append(latency)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile, ``q`` in [0, 100]."""
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(1, int(round(q / 100 * len(ordered))))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(len(self.samples)),
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "max": max(self.samples) if self.samples else 0.0,
+        }
+
+
+@dataclass
+class Counter:
+    """A named monotonic counter."""
+
+    name: str
+    value: int = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+@dataclass
+class StatsRegistry:
+    """A bag of named counters shared across a simulation's nodes."""
+
+    counters: Dict[str, Counter] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self.counter(name).add(amount)
+
+    def value(self, name: str) -> int:
+        return self.counters[name].value if name in self.counters else 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: c.value for name, c in sorted(self.counters.items())}
+
+
+def summarize(values: "list[float]") -> Dict[str, float]:
+    """Minimal summary statistics (mean/min/max) without numpy."""
+    if not values:
+        return {"mean": 0.0, "min": 0.0, "max": 0.0, "count": 0}
+    return {
+        "mean": sum(values) / len(values),
+        "min": min(values),
+        "max": max(values),
+        "count": len(values),
+    }

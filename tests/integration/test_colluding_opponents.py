@@ -1,0 +1,80 @@
+"""Integration tests: colluding active opponents (§V-A2 case 1).
+
+A fraction f of the population drops every onion it should relay,
+trying to force senders onto fresh paths. The protocol's promises:
+
+* each opponent burns a given sender at most once (the fN bound);
+* retransmission on fresh paths eventually delivers;
+* opponents accumulate relay-blacklist votes and are evicted.
+"""
+
+import pytest
+
+from repro.core.config import RacConfig
+from repro.core.system import RacSystem
+from repro.freeride.adversary import PathDropOpponent
+
+
+def build(population=15, opponents=3, seed=101):
+    config = RacConfig.small(
+        relay_timeout=0.8,
+        blacklist_period=1.5,
+        assumed_opponent_fraction=0.25,
+    )
+    behaviors = {i: PathDropOpponent() for i in range(opponents)}
+    system = RacSystem(config, seed=seed)
+    nodes = system.bootstrap(population, behaviors=behaviors)
+    return system, nodes[:opponents], nodes[opponents:]
+
+
+class TestColludingPathDroppers:
+    def test_messages_deliver_despite_20_percent_droppers(self):
+        system, opponents, honest = build()
+        system.run(1.2)
+        for i, src in enumerate(honest):
+            system.send(src, honest[(i + 1) % len(honest)], b"through the storm %d" % i)
+        system.run(12.0)
+        delivered = sum(len(system.delivered_messages(n)) for n in honest)
+        assert delivered == len(honest)
+
+    def test_retransmissions_happen_and_are_bounded(self):
+        system, opponents, honest = build(seed=102)
+        system.run(1.2)
+        for step in range(6):
+            for i, src in enumerate(honest):
+                system.send(src, honest[(i + 1) % len(honest)], b"s%d-%d" % (step, i))
+            system.run(1.0)
+        system.run(6.0)
+        retransmits = system.stats.value("send_retransmitted")
+        blacklistings = system.stats.value("relay_blacklisted")
+        assert retransmits >= 1
+        # The fN bound: each (sender, opponent) pair burns at most once,
+        # so sender-side blacklist entries cannot exceed
+        # honest-senders x opponents.
+        assert blacklistings <= len(honest) * len(opponents)
+
+    def test_opponents_get_evicted_by_relay_votes(self):
+        system, opponents, honest = build(seed=103)
+        system.run(1.2)
+        step = 0
+        while system.now < 40.0 and not all(o in system.evicted for o in opponents):
+            for i, src in enumerate(honest):
+                system.send(src, honest[(i + 1) % len(honest)], b"probe-%d" % step)
+            system.run(0.8)
+            step += 1
+        evicted_opponents = [o for o in opponents if o in system.evicted]
+        assert len(evicted_opponents) >= 2  # most of the cartel falls
+        assert all(n in opponents for n in system.evicted)  # no honest casualty
+
+    def test_abandon_after_retry_cap(self):
+        # With every candidate relay dropping, retries run out and the
+        # send is abandoned (counted, not silently lost).
+        config = RacConfig.small(relay_timeout=0.6, max_send_retries=2, blacklist_period=0.0)
+        behaviors = {i: PathDropOpponent() for i in range(1, 6)}
+        system = RacSystem(config, seed=104)
+        nodes = system.bootstrap(6, behaviors=behaviors)
+        sender = nodes[0]
+        system.run(1.2)
+        system.send(sender, nodes[1], b"doomed")
+        system.run(10.0)
+        assert system.stats.value("send_abandoned") >= 1

@@ -1,0 +1,170 @@
+"""End-to-end integration tests: full RAC systems in the packet simulator."""
+
+import itertools
+
+import pytest
+
+from repro.core.config import RacConfig
+from repro.core.system import RacSystem
+
+
+def small_config(**overrides):
+    base = dict(
+        num_relays=2,
+        num_rings=3,
+        group_min=2,
+        group_max=10**9,
+        message_size=2048,
+        send_interval=0.05,
+        relay_timeout=1.0,
+        predecessor_timeout=0.5,
+        rate_window=1.0,
+        blacklist_period=2.0,
+        puzzle_bits=2,
+    )
+    base.update(overrides)
+    return RacConfig(**base)
+
+
+class TestIntraGroupDelivery:
+    def test_single_message(self):
+        system = RacSystem(small_config(), seed=7)
+        nodes = system.bootstrap(12)
+        system.run(1.5)
+        assert system.send(nodes[0], nodes[5], b"hello, anonymous world")
+        system.run(4.0)
+        assert system.delivered_messages(nodes[5]) == [b"hello, anonymous world"]
+        assert not system.evicted
+
+    def test_many_messages_all_delivered_once(self):
+        system = RacSystem(small_config(), seed=8)
+        nodes = system.bootstrap(10)
+        system.run(1.5)
+        expected = {}
+        for i in range(6):
+            src, dst = nodes[i], nodes[(i + 3) % len(nodes)]
+            payload = b"m-%d" % i
+            assert system.send(src, dst, payload)
+            expected.setdefault(dst, []).append(payload)
+        system.run(6.0)
+        for dst, payloads in expected.items():
+            assert sorted(system.delivered_messages(dst)) == sorted(payloads)
+
+    def test_no_duplicate_deliveries(self):
+        system = RacSystem(small_config(), seed=9)
+        nodes = system.bootstrap(8)
+        system.run(1.5)
+        system.send(nodes[0], nodes[3], b"once")
+        system.run(5.0)
+        assert system.delivered_messages(nodes[3]).count(b"once") == 1
+
+    def test_non_destinations_deliver_nothing(self):
+        system = RacSystem(small_config(), seed=10)
+        nodes = system.bootstrap(8)
+        system.run(1.5)
+        system.send(nodes[0], nodes[3], b"private")
+        system.run(5.0)
+        for node in nodes:
+            if node != nodes[3]:
+                assert system.delivered_messages(node) == []
+
+    def test_all_honest_run_has_no_evictions(self):
+        system = RacSystem(small_config(), seed=11)
+        system.bootstrap(14)
+        system.run(8.0)
+        assert system.evicted == {}
+
+
+class TestCrossGroupDelivery:
+    def build(self, seed=12):
+        system = RacSystem(small_config(group_min=4, group_max=10), seed=seed)
+        nodes = system.bootstrap(24)
+        assert len(system.directory.groups) >= 2
+        system.run(2.0)
+        return system, nodes
+
+    def cross_pair(self, system, nodes):
+        gids = {n: system.group_of(n) for n in nodes}
+        return next(
+            (a, b) for a, b in itertools.permutations(nodes, 2) if gids[a] != gids[b]
+        )
+
+    def test_channel_delivery(self):
+        system, nodes = self.build()
+        src, dst = self.cross_pair(system, nodes)
+        assert system.send(src, dst, b"cross-group hello")
+        system.run(6.0)
+        assert system.delivered_messages(dst) == [b"cross-group hello"]
+
+    def test_channel_broadcast_accounted(self):
+        system, nodes = self.build(seed=13)
+        src, dst = self.cross_pair(system, nodes)
+        system.send(src, dst, b"x")
+        system.run(6.0)
+        assert system.stats.value("channel_broadcasts") >= 1
+
+    def test_bidirectional_cross_group(self):
+        system, nodes = self.build(seed=14)
+        src, dst = self.cross_pair(system, nodes)
+        system.send(src, dst, b"ping")
+        system.send(dst, src, b"pong")
+        system.run(7.0)
+        assert system.delivered_messages(dst) == [b"ping"]
+        assert system.delivered_messages(src) == [b"pong"]
+
+
+class TestJoin:
+    def test_joiner_becomes_member_and_can_receive(self):
+        system = RacSystem(small_config(), seed=15)
+        nodes = system.bootstrap(8)
+        system.run(1.0)
+        joiner = system.join()
+        assert joiner in system.directory.node_ids
+        system.run(1.5)  # settle + quarantine
+        system.send(nodes[0], joiner, b"welcome")
+        system.run(4.0)
+        assert system.delivered_messages(joiner) == [b"welcome"]
+
+    def test_joiner_quarantined_as_relay(self):
+        system = RacSystem(small_config(join_settle_time=5.0), seed=16)
+        system.bootstrap(8)
+        system.run(1.0)
+        joiner = system.join()
+        assert not system.usable_as_relay(joiner)
+        system.run(2 * 5.0 + 0.1)
+        assert system.usable_as_relay(joiner)
+
+    def test_join_requires_bootstrap(self):
+        system = RacSystem(small_config(), seed=17)
+        with pytest.raises(RuntimeError):
+            system.join()
+
+    def test_join_costs_accounted(self):
+        system = RacSystem(small_config(), seed=18)
+        system.bootstrap(8)
+        before = system.stats.value("join_broadcasts")
+        system.join()
+        assert system.stats.value("join_broadcasts") > before
+
+
+class TestGroupLifecycleUnderTraffic:
+    def test_splits_preserve_delivery(self):
+        system = RacSystem(small_config(group_min=3, group_max=8), seed=19)
+        nodes = system.bootstrap(20)
+        assert len(system.directory.groups) >= 2
+        system.directory.check_invariants()
+        system.run(2.0)
+        gid_groups = {}
+        for node in nodes:
+            gid_groups.setdefault(system.group_of(node), []).append(node)
+        # One intra-group flow inside the largest group.
+        largest = max(gid_groups.values(), key=len)
+        assert system.send(largest[0], largest[1], b"post-split")
+        system.run(5.0)
+        assert system.delivered_messages(largest[1]) == [b"post-split"]
+
+    def test_constant_rate_noise_flows(self):
+        system = RacSystem(small_config(), seed=20)
+        system.bootstrap(8)
+        system.run(3.0)
+        assert system.stats.value("noise_broadcasts") > 8 * 20  # ~ 8 nodes * 60 ticks

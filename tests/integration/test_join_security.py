@@ -1,0 +1,95 @@
+"""Integration tests: the join handshake's puzzle gate (Section IV-C).
+
+An opponent cannot pick its group: the node id is ``g(K, y)`` with y a
+brute-forced puzzle solution, and every group member re-verifies the
+solution before admitting.
+"""
+
+import pytest
+
+from repro.core.config import RacConfig
+from repro.core.messages import JoinRequest
+from repro.core.system import RacSystem
+from repro.crypto.keys import KeyPair
+from repro.groups.assignment import solve_puzzle
+
+
+def config(**overrides):
+    base = dict(
+        num_relays=2,
+        num_rings=3,
+        group_min=2,
+        group_max=10**9,
+        message_size=2048,
+        send_interval=0.05,
+        relay_timeout=1.0,
+        predecessor_timeout=0.5,
+        rate_window=1.0,
+        blacklist_period=0.0,
+        puzzle_bits=4,
+    )
+    base.update(overrides)
+    return RacConfig(**base)
+
+
+def build_system(seed=61, n=8):
+    system = RacSystem(config(), seed=seed)
+    system.bootstrap(n)
+    system.run(0.5)
+    return system
+
+
+class TestHonestJoin:
+    def test_join_verifies_at_every_member(self):
+        system = build_system()
+        before = system.stats.value("join_puzzle_verifications")
+        system.join()
+        after = system.stats.value("join_puzzle_verifications")
+        assert after - before >= 8  # one check per member
+
+    def test_valid_external_request_admitted(self):
+        system = build_system(seed=62)
+        key = KeyPair.generate("sim", seed=12345)
+        import random
+
+        puzzle = solve_puzzle(key.public.key_id, 4, rng=random.Random(1))
+        request = JoinRequest(puzzle.node_id, key.public.key_id, puzzle.vector, key.public)
+        assert system.submit_join_request(request)
+        assert puzzle.node_id in system.directory.node_ids
+
+
+class TestForgedJoin:
+    def test_wrong_vector_rejected(self):
+        system = build_system(seed=63)
+        key = KeyPair.generate("sim", seed=999)
+        forged = JoinRequest(
+            node_id=123456789,  # chosen id, no valid puzzle behind it
+            key_id=key.public.key_id,
+            puzzle_vector=42,
+            id_public_key=key.public,
+        )
+        assert not system.submit_join_request(forged)
+        assert 123456789 not in system.directory.node_ids
+        assert system.stats.value("join_rejected_bad_puzzle") == 1
+
+    def test_chosen_group_id_rejected(self):
+        # An opponent who solved a real puzzle cannot transplant the
+        # solution onto a *different* (targeted) node id.
+        system = build_system(seed=64)
+        key = KeyPair.generate("sim", seed=1000)
+        import random
+
+        puzzle = solve_puzzle(key.public.key_id, 4, rng=random.Random(2))
+        target_id = puzzle.node_id ^ 0xFFFF  # aim elsewhere in the space
+        forged = JoinRequest(target_id, key.public.key_id, puzzle.vector, key.public)
+        assert not system.submit_join_request(forged)
+        assert target_id not in system.directory.node_ids
+
+    def test_vector_equal_to_key_rejected(self):
+        system = build_system(seed=65)
+        key = KeyPair.generate("sim", seed=1001)
+        from repro.crypto.hashes import oneway_g
+
+        kid = key.public.key_id
+        forged = JoinRequest(oneway_g(kid, kid), kid, kid, key.public)
+        assert not system.submit_join_request(forged)

@@ -1,0 +1,75 @@
+"""Integration test: channel-selective freeriding is caught too.
+
+Check 2 covers predecessors "in the different rings of channels and
+group": a node that behaves perfectly on group rings but drops channel
+forwards is accused by its channel successors and evicted.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.config import RacConfig
+from repro.core.system import RacSystem
+from repro.freeride.selective import SelectiveDropper
+
+
+def build(seed):
+    config = RacConfig.small(group_min=4, group_max=10, predecessor_timeout=0.8)
+    system = RacSystem(config, seed=seed)
+    nodes = system.bootstrap(24)
+    assert len(system.directory.groups) >= 2
+    system.run(1.5)
+    return system, nodes
+
+
+def cross_pairs(system, nodes):
+    gids = {n: system.group_of(n) for n in nodes}
+    return [(a, b) for a, b in itertools.permutations(nodes, 2) if gids[a] != gids[b]]
+
+
+class TestSelectiveDropper:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelectiveDropper("universe")
+
+    def test_channel_dropper_detected_by_channel_successors(self):
+        # Rebuild the same population with the dropper installed on one
+        # node, then push cross-group traffic so channels stay busy.
+        config = RacConfig.small(group_min=4, group_max=10, predecessor_timeout=0.8)
+        dropper = SelectiveDropper("channel")
+        system = RacSystem(config, seed=111)
+        nodes = system.bootstrap(24, behaviors={0: dropper})
+        deviant = nodes[0]
+        system.run(1.5)
+        pairs = cross_pairs(system, nodes)
+        # Focus traffic on the deviant's channels: destinations in other
+        # groups, senders in the deviant's group (so the deviant sits on
+        # the channel rings).
+        deviant_gid = system.group_of(deviant)
+        relevant = [
+            (a, b)
+            for a, b in pairs
+            if system.group_of(a) == deviant_gid and a != deviant
+        ]
+        step = 0
+        while system.now < 25.0 and deviant not in system.evicted:
+            for a, b in relevant[:6]:
+                system.send(a, b, b"x-group %d" % step)
+            system.run(0.8)
+            step += 1
+        assert dropper.drops > 0, "the deviant never saw channel traffic"
+        assert deviant in system.evicted
+        assert [n for n in system.evicted if n != deviant] == []
+
+    def test_group_traffic_alone_does_not_expose_it(self):
+        # Without channel traffic the selective dropper is
+        # indistinguishable from honest — the deviation only manifests
+        # where it deviates.
+        config = RacConfig.small(predecessor_timeout=0.8)
+        dropper = SelectiveDropper("channel")
+        system = RacSystem(config, seed=112)
+        nodes = system.bootstrap(12, behaviors={0: dropper})
+        system.run(6.0)
+        assert system.evicted == {}
+        assert dropper.forwards > 0

@@ -1,0 +1,61 @@
+"""Property-based tests for the crypto substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import stream
+from repro.crypto.keys import AuthenticationError, KeyPair, seal
+
+import pytest
+
+keys_st = st.integers(min_value=0, max_value=2**32)
+payloads = st.binary(min_size=0, max_size=512)
+
+
+class TestStreamProperties:
+    @given(payloads, st.binary(min_size=16, max_size=32), st.binary(min_size=8, max_size=16))
+    def test_encrypt_decrypt_roundtrip(self, plaintext, key, nonce):
+        blob = stream.encrypt(key, nonce, plaintext)
+        assert stream.decrypt(key, nonce, blob) == plaintext
+
+    @given(payloads, st.binary(min_size=16, max_size=32), st.binary(min_size=8, max_size=16))
+    def test_keystream_involution(self, data, key, nonce):
+        assert stream.keystream_xor(key, nonce, stream.keystream_xor(key, nonce, data)) == data
+
+    @given(payloads, st.binary(min_size=16, max_size=32), st.binary(min_size=8, max_size=16),
+           st.integers(min_value=0))
+    def test_any_single_bitflip_is_detected(self, plaintext, key, nonce, position):
+        blob = bytearray(stream.encrypt(key, nonce, plaintext))
+        blob[position % len(blob)] ^= 1 << (position // len(blob) % 8 or 1) % 8 | 1
+        with pytest.raises(stream.AuthenticationError):
+            stream.decrypt(key, nonce, bytes(blob))
+
+    @given(st.binary(min_size=16, max_size=32), st.binary(min_size=8, max_size=16),
+           payloads, payloads)
+    def test_mac_distinguishes_messages(self, key, nonce, a, b):
+        if a != b:
+            assert stream.mac(key, a) != stream.mac(key, b)
+
+
+class TestSealedBoxProperties:
+    @settings(max_examples=30)
+    @given(keys_st, payloads, keys_st)
+    def test_roundtrip_sim_backend(self, key_seed, payload, seal_seed):
+        keypair = KeyPair.generate("sim", seed=key_seed)
+        assert keypair.unseal(seal(keypair.public, payload, seed=seal_seed)) == payload
+
+    @settings(max_examples=15)
+    @given(keys_st, payloads, keys_st)
+    def test_roundtrip_dh_backend(self, key_seed, payload, seal_seed):
+        keypair = KeyPair.generate("dh", seed=key_seed)
+        assert keypair.unseal(seal(keypair.public, payload, seed=seal_seed)) == payload
+
+    @settings(max_examples=30)
+    @given(keys_st, keys_st, payloads)
+    def test_wrong_key_never_opens(self, seed_a, seed_b, payload):
+        alice = KeyPair.generate("sim", seed=seed_a)
+        bob = KeyPair.generate("sim", seed=seed_b)
+        if alice.public.key_id == bob.public.key_id:
+            return  # same seed -> same key
+        blob = seal(alice.public, payload, seed=1)
+        with pytest.raises(AuthenticationError):
+            bob.unseal(blob)

@@ -1,0 +1,106 @@
+"""Property-based tests for onions and the accountable shuffle."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.onion import build_onion, onion_capacity, peel, unwrap_wire, wrap_wire
+from repro.crypto.hashes import message_id
+from repro.crypto.keys import KeyPair
+from repro.crypto.shuffle import DishonestParticipant, ShuffleParticipant, run_shuffle
+
+PADDED = 4096
+_KEY_CACHE = {i: KeyPair.generate("sim", seed=i) for i in range(12)}
+
+
+class TestOnionProperties:
+    @settings(max_examples=40)
+    @given(
+        payload=st.binary(min_size=0, max_size=256),
+        num_relays=st.integers(min_value=1, max_value=6),
+        marker=st.one_of(st.none(), st.integers(min_value=1, max_value=2**40)),
+        seed=st.integers(min_value=0, max_value=2**30),
+    )
+    def test_full_chain_roundtrip(self, payload, num_relays, marker, seed):
+        relays = [_KEY_CACHE[i] for i in range(num_relays)]
+        dest = _KEY_CACHE[10]
+        onion = build_onion(
+            payload,
+            [r.public for r in relays],
+            dest.public,
+            PADDED,
+            marker_gid=marker,
+            rng=random.Random(seed),
+        )
+        wire = onion.first_wire
+        ids = [message_id(unwrap_wire(wire))]
+        for index, relay in enumerate(relays):
+            result = peel(wire, relay, None, PADDED, rng=random.Random(seed + index))
+            assert result.kind == "relay"
+            assert len(result.inner_wire) == PADDED
+            if index == num_relays - 1:
+                assert result.channel_gid == marker
+            else:
+                assert result.channel_gid is None
+            wire = result.inner_wire
+            ids.append(result.inner_msg_id)
+        final = peel(wire, None, dest, PADDED)
+        assert final.kind == "deliver"
+        assert final.payload == payload
+        assert ids == onion.layer_msg_ids
+
+    @settings(max_examples=40)
+    @given(blob=st.binary(min_size=0, max_size=1000), size=st.integers(min_value=1024, max_value=4096))
+    def test_wire_padding_roundtrip(self, blob, size):
+        wire = wrap_wire(blob, size)
+        assert len(wire) == size
+        assert unwrap_wire(wire) == blob
+
+    @settings(max_examples=20)
+    @given(num_relays=st.integers(min_value=1, max_value=6))
+    def test_capacity_bound_is_tight_enough(self, num_relays):
+        keys = [_KEY_CACHE[i].public for i in range(num_relays)]
+        capacity = onion_capacity(PADDED, num_relays, keys[0])
+        assert capacity > 0
+        payload = b"z" * capacity
+        onion = build_onion(payload, keys, _KEY_CACHE[10].public, PADDED, rng=random.Random(1))
+        assert len(onion.first_wire) == PADDED
+
+
+class TestShuffleProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=7),
+        seed=st.integers(min_value=0, max_value=2**20),
+        length=st.integers(min_value=1, max_value=64),
+    )
+    def test_honest_shuffle_is_a_permutation(self, n, seed, length):
+        rng = random.Random(seed)
+        participants = [ShuffleParticipant(i, rng=random.Random(rng.getrandbits(32))) for i in range(n)]
+        messages = [bytes([i]) * length for i in range(n)]
+        result = run_shuffle(participants, messages)
+        assert result.success
+        assert sorted(result.messages) == sorted(messages)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=6),
+        cheater=st.integers(min_value=0, max_value=5),
+        mode=st.sampled_from(DishonestParticipant.MODES),
+        seed=st.integers(min_value=0, max_value=2**20),
+    )
+    def test_any_cheater_is_blamed(self, n, cheater, mode, seed):
+        cheater %= n
+        rng = random.Random(seed)
+        participants = []
+        for i in range(n):
+            sub_rng = random.Random(rng.getrandbits(32))
+            if i == cheater:
+                participants.append(DishonestParticipant(i, mode, rng=sub_rng))
+            else:
+                participants.append(ShuffleParticipant(i, rng=sub_rng))
+        messages = [bytes([65 + i]) * 24 for i in range(n)]
+        result = run_shuffle(participants, messages)
+        assert not result.success
+        assert result.blamed == [cheater]
+        assert result.messages is None

@@ -1,0 +1,121 @@
+"""Property-based tests for rings, views, groups and the DC-net."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.dcnet import DCNet
+from repro.groups.manager import GroupDirectory
+from repro.overlay.rings import RingTopology
+
+node_ids = st.lists(
+    st.integers(min_value=0, max_value=2**128 - 1), min_size=2, max_size=40, unique=True
+)
+
+
+class TestRingProperties:
+    @settings(max_examples=40)
+    @given(members=node_ids, rings=st.integers(min_value=1, max_value=6))
+    def test_successor_predecessor_inverse(self, members, rings):
+        topo = RingTopology(members, rings)
+        for node in members:
+            for ring in range(rings):
+                succ = topo.successor(node, ring)
+                assert topo.predecessor(succ, ring) == node
+
+    @settings(max_examples=40)
+    @given(members=node_ids, rings=st.integers(min_value=1, max_value=4))
+    def test_every_ring_is_one_cycle(self, members, rings):
+        topo = RingTopology(members, rings)
+        for ring in range(rings):
+            start = members[0]
+            seen = {start}
+            cursor = topo.successor(start, ring)
+            while cursor != start:
+                assert cursor not in seen
+                seen.add(cursor)
+                cursor = topo.successor(cursor, ring)
+            assert seen == set(members)
+
+    @settings(max_examples=30)
+    @given(members=node_ids, rings=st.integers(min_value=1, max_value=4), data=st.data())
+    def test_removal_keeps_cycles_intact(self, members, rings, data):
+        topo = RingTopology(members, rings)
+        victim = data.draw(st.sampled_from(members))
+        topo.remove_node(victim)
+        remaining = set(members) - {victim}
+        if len(remaining) < 2:
+            return
+        start = next(iter(remaining))
+        for ring in range(rings):
+            seen = {start}
+            cursor = topo.successor(start, ring)
+            while cursor != start:
+                seen.add(cursor)
+                cursor = topo.successor(cursor, ring)
+            assert seen == remaining
+
+    @settings(max_examples=30)
+    @given(members=node_ids, rings=st.integers(min_value=1, max_value=4))
+    def test_topology_is_order_independent(self, members, rings):
+        forward = RingTopology(members, rings)
+        backward = RingTopology(list(reversed(members)), rings)
+        for node in members:
+            assert forward.successors(node) == backward.successors(node)
+
+
+class TestGroupDirectoryProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=0, max_value=2**128 - 1)),
+            min_size=1,
+            max_size=120,
+        ),
+        smax=st.integers(min_value=4, max_value=16),
+    )
+    def test_invariants_under_arbitrary_churn(self, ops, smax):
+        directory = GroupDirectory(num_rings=2, smin=2, smax=smax)
+        alive = set()
+        for add, node_id in ops:
+            if add and node_id not in alive:
+                directory.add_node(node_id)
+                alive.add(node_id)
+            elif not add and alive:
+                victim = min(alive)  # deterministic pick
+                directory.remove_node(victim)
+                alive.discard(victim)
+        directory.check_invariants()
+        assert set(directory.node_ids) == alive
+        # Sizes honour smax after every batch (single adds cannot leave
+        # an oversized group behind).
+        assert all(size <= smax for size in directory.sizes().values())
+
+    @settings(max_examples=25, deadline=None)
+    @given(node_ids)
+    def test_group_lookup_is_a_function_of_id(self, members):
+        directory = GroupDirectory(num_rings=2, smin=2, smax=10)
+        for node_id in members:
+            directory.add_node(node_id)
+        for node_id in members:
+            assert directory.group_of_node(node_id) is directory.group_for_id(node_id)
+
+
+class TestDCNetProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=8),
+        sender=st.integers(min_value=0, max_value=7),
+        message=st.binary(min_size=0, max_size=32),
+        seed=st.binary(min_size=1, max_size=8),
+    )
+    def test_single_sender_always_revealed(self, n, sender, message, seed):
+        net = DCNet(n, seed, slot_length=32)
+        outcome = net.run_round(sender % n, message.ljust(32, b"\x00"))
+        assert outcome.revealed.rstrip(b"\x00") == message.rstrip(b"\x00")
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(min_value=2, max_value=8), seed=st.binary(min_size=1, max_size=8))
+    def test_empty_round_is_silent(self, n, seed):
+        net = DCNet(n, seed, slot_length=16)
+        assert net.run_round().revealed == b""

@@ -1,0 +1,78 @@
+"""Property-based tests for the wire codecs: decode(encode(x)) == x."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.messages import (
+    Accusation,
+    BlacklistShare,
+    Broadcast,
+    EvictionNotice,
+    JoinAnnounce,
+    JoinRequest,
+    ReadyMessage,
+    channel_domain,
+    group_domain,
+)
+from repro.core.wire import decode_message, encode_message
+from repro.crypto.keys import KeyPair
+
+ids = st.integers(min_value=0, max_value=(1 << 128) - 1)
+gids = st.integers(min_value=0, max_value=(1 << 64) - 1)
+_SIM_KEYS = [KeyPair.generate("sim", seed=i).public for i in range(4)]
+
+domains = st.one_of(
+    gids.map(group_domain),
+    st.tuples(gids, gids).filter(lambda t: t[0] != t[1]).map(lambda t: channel_domain(*t)),
+)
+
+broadcasts = st.builds(
+    Broadcast,
+    domain=domains,
+    msg_id=ids,
+    wire=st.binary(min_size=0, max_size=512),
+    ring_index=st.integers(min_value=0, max_value=63),
+)
+
+accusations = st.builds(
+    Accusation,
+    accuser=ids,
+    accused=ids,
+    domain=domains,
+    reason=st.sampled_from(["missing-copy", "replay", "rate-low", "rate-high", "weird reason π"]),
+    msg_id=st.one_of(st.none(), ids),
+)
+
+join_requests = st.builds(
+    JoinRequest,
+    node_id=ids,
+    key_id=ids,
+    puzzle_vector=ids,
+    id_public_key=st.sampled_from(_SIM_KEYS),
+)
+
+messages = st.one_of(
+    broadcasts,
+    accusations,
+    join_requests,
+    st.builds(JoinAnnounce, request=join_requests, sponsor=ids),
+    st.builds(ReadyMessage, node_id=ids),
+    st.builds(EvictionNotice, evicted=ids, from_gid=gids, notifier=ids),
+    st.builds(
+        BlacklistShare,
+        group_gid=gids,
+        accused=st.lists(ids, max_size=20).map(tuple),
+    ),
+)
+
+
+@settings(max_examples=200)
+@given(messages)
+def test_roundtrip(message):
+    assert decode_message(encode_message(message)) == message
+
+
+@settings(max_examples=100)
+@given(messages, messages)
+def test_distinct_messages_encode_distinctly(a, b):
+    if a != b:
+        assert encode_message(a) != encode_message(b)

@@ -1,0 +1,144 @@
+"""Unit tests for the Section V-A anonymity formulas.
+
+The numeric anchors are the paper's own: Table I cells and the in-text
+values (see also tests/unit/test_text_claims.py for the scoreboard).
+"""
+
+import pytest
+
+from repro.analysis import anonymity
+from repro.analysis.probability import ZERO
+
+N, G, L = 100_000, 1000, 5
+
+
+def log10(p):
+    return p.log10
+
+
+class TestPathAllOpponents:
+    def test_too_few_opponents_is_zero(self):
+        assert anonymity.path_all_opponents(X=L, G=G, L=L) is ZERO  # needs L+1
+
+    def test_all_opponents_is_certainty(self):
+        p = anonymity.path_all_opponents(X=G, G=G, L=2)
+        assert p.value == pytest.approx(1.0)
+
+    def test_monotone_in_x(self):
+        p1 = anonymity.path_all_opponents(10, G, L)
+        p2 = anonymity.path_all_opponents(100, G, L)
+        assert p1 < p2
+
+    def test_group_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            anonymity.path_all_opponents(3, G=4, L=5)
+
+
+class TestOpponentsInGroup:
+    def test_more_than_available_is_zero(self):
+        assert anonymity.opponents_in_group(11, N=100, f=0.1) is ZERO
+
+    def test_zero_draws_is_one(self):
+        assert anonymity.opponents_in_group(0, N, 0.1).value == pytest.approx(1.0)
+
+    def test_approximates_f_power_x(self):
+        p = anonymity.opponents_in_group(3, N, 0.1)
+        assert p.value == pytest.approx(0.001, rel=0.01)
+
+
+class TestSenderAnonymity:
+    def test_nogroup_matches_paper_9_9e7(self):
+        p = anonymity.sender_break_nogroup(N, 0.10, L)
+        assert p.value == pytest.approx(9.9e-7, rel=0.02)
+
+    def test_nogroup_f50_matches_1_5e2(self):
+        p = anonymity.sender_break_nogroup(N, 0.50, L)
+        assert p.value == pytest.approx(1.5e-2, rel=0.05)
+
+    def test_nogroup_f90_matches_0_53(self):
+        p = anonymity.sender_break_nogroup(N, 0.90, L)
+        assert p.value == pytest.approx(0.53, rel=0.01)
+
+    def test_grouped_f10_matches_7_3e22(self):
+        p = anonymity.sender_break_grouped(N, G, 0.10, L)
+        assert log10(p) == pytest.approx(-21.14, abs=0.05)  # 7.3e-22
+
+    def test_grouped_f50_matches_1_8e16(self):
+        p = anonymity.sender_break_grouped(N, G, 0.50, L)
+        assert log10(p) == pytest.approx(-15.75, abs=0.15)  # ~1.8e-16
+
+    def test_grouped_f90_matches_7_1e11(self):
+        p = anonymity.sender_break_grouped(N, G, 0.90, L)
+        assert log10(p) == pytest.approx(-10.15, abs=0.15)  # ~7.1e-11
+
+    def test_quoted_variant_matches_5_7e25(self):
+        p = anonymity.sender_break_grouped(N, G, 0.05, L, variant="quoted")
+        assert log10(p) == pytest.approx(-24.24, abs=0.05)
+
+    def test_grouped_beats_nogroup(self):
+        # The paper's counter-intuitive observation: groups *improve*
+        # sender anonymity because opponents cannot pick their group.
+        for f in (0.1, 0.5, 0.9):
+            assert anonymity.sender_break_grouped(N, G, f, L) < anonymity.sender_break_nogroup(
+                N, f, L
+            )
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            anonymity.sender_break_grouped(N, G, 0.1, L, variant="fancy")
+
+    def test_zero_opponents_zero_probability(self):
+        assert anonymity.sender_break_grouped(N, G, 0.0, L) is ZERO
+        assert anonymity.sender_break_nogroup(N, 0.0, L) is ZERO
+
+
+class TestReceiverAnonymity:
+    @pytest.mark.parametrize(
+        "f,expected_log10",
+        [(0.10, -1019.24), (0.50, -302.92), (0.90, -45.96)],
+    )
+    def test_grouped_matches_table1(self, f, expected_log10):
+        p = anonymity.receiver_break_grouped(N, G, f)
+        assert log10(p) == pytest.approx(expected_log10, abs=0.3)
+
+    def test_nogroup_is_zero_below_full_control(self):
+        assert anonymity.receiver_break_nogroup(N, 0.9) is ZERO
+
+    def test_nogroup_with_total_control(self):
+        assert anonymity.receiver_break_nogroup(N, 1.0).value == 1.0
+
+    def test_unlinkability_equals_receiver(self):
+        assert anonymity.unlinkability_break_grouped(N, G, 0.1) == anonymity.receiver_break_grouped(
+            N, G, 0.1
+        )
+
+
+class TestBaselinesAndActive:
+    def test_dissent_zero_below_total_control(self):
+        assert anonymity.dissent_break(0.99) is ZERO
+        assert anonymity.dissent_break(1.0).value == 1.0
+
+    def test_onion_matches_nogroup_sender(self):
+        assert anonymity.onion_routing_break(N, 0.1, L) == anonymity.sender_break_nogroup(
+            N, 0.1, L
+        )
+
+    def test_active_is_fg_times_passive(self):
+        passive = anonymity.sender_break_grouped(N, G, 0.05, L, variant="quoted")
+        active = anonymity.active_sender_break_grouped(N, G, 0.05, L, variant="quoted")
+        assert active.log10 == pytest.approx(passive.log10 + 1.7, abs=0.01)  # x50
+
+    def test_active_matches_paper_2_8e23(self):
+        active = anonymity.active_sender_break_grouped(N, G, 0.05, L, variant="quoted")
+        assert log10(active) == pytest.approx(-22.54, abs=0.05)
+
+
+class TestAnonymitySetSize:
+    def test_grouped_is_group_size(self):
+        assert anonymity.anonymity_set_size(N, G) == 1000
+
+    def test_ungrouped_is_system_size(self):
+        assert anonymity.anonymity_set_size(N, None) == N
+
+    def test_small_system_caps_group(self):
+        assert anonymity.anonymity_set_size(500, 1000) == 500

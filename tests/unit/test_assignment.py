@@ -1,0 +1,64 @@
+"""Unit tests for the group-assignment puzzle."""
+
+import random
+
+import pytest
+
+from repro.groups.assignment import expected_attempts, solve_puzzle, verify_puzzle
+
+
+class TestSolve:
+    def test_solution_verifies(self):
+        solution = solve_puzzle(key_id=12345, mk=6, rng=random.Random(1))
+        assert verify_puzzle(solution.key_id, solution.vector, solution.node_id, mk=6)
+
+    def test_vector_differs_from_key(self):
+        solution = solve_puzzle(key_id=12345, mk=4, rng=random.Random(2))
+        assert solution.vector != solution.key_id
+
+    def test_deterministic_with_seeded_rng(self):
+        a = solve_puzzle(1, mk=6, rng=random.Random(3))
+        b = solve_puzzle(1, mk=6, rng=random.Random(3))
+        assert a.vector == b.vector and a.node_id == b.node_id
+
+    def test_zero_difficulty_solves_immediately(self):
+        solution = solve_puzzle(1, mk=0, rng=random.Random(4))
+        assert solution.attempts == 1
+
+    def test_negative_difficulty_rejected(self):
+        with pytest.raises(ValueError):
+            solve_puzzle(1, mk=-1)
+
+    def test_attempts_scale_with_difficulty(self):
+        rng = random.Random(5)
+        # Average over a few solves: mk=8 needs ~256 attempts, mk=2 ~4.
+        hard = sum(solve_puzzle(k, mk=8, rng=rng).attempts for k in range(8)) / 8
+        easy = sum(solve_puzzle(k, mk=2, rng=rng).attempts for k in range(8)) / 8
+        assert hard > easy * 4
+
+    def test_expected_attempts(self):
+        assert expected_attempts(10) == 1024
+
+
+class TestVerify:
+    def test_rejects_wrong_node_id(self):
+        solution = solve_puzzle(77, mk=4, rng=random.Random(6))
+        assert not verify_puzzle(77, solution.vector, solution.node_id + 1, mk=4)
+
+    def test_rejects_wrong_vector(self):
+        solution = solve_puzzle(77, mk=8, rng=random.Random(7))
+        assert not verify_puzzle(77, solution.vector + 1, solution.node_id, mk=8)
+
+    def test_rejects_vector_equal_to_key(self):
+        # y == K is forbidden even though f(K) trivially matches f(K).
+        from repro.crypto.hashes import oneway_g
+
+        assert not verify_puzzle(77, 77, oneway_g(77, 77), mk=4)
+
+    def test_node_cannot_choose_its_id(self):
+        # The whole point: solving for a *specific* target id fails;
+        # across many solves the ids spread over the 128-bit space.
+        ids = {solve_puzzle(k, mk=2, rng=random.Random(k)).node_id for k in range(20)}
+        assert len(ids) == 20
+        spread = max(ids) - min(ids)
+        assert spread > (1 << 120)  # far-apart ids, not clustered

@@ -1,0 +1,95 @@
+"""Unit tests for channel (super-group) views."""
+
+import random
+
+import pytest
+
+from repro.groups.channels import ChannelDirectory, channel_key
+from repro.groups.manager import GroupDirectory
+
+
+def build_directory(count=12, smax=6, seed=0):
+    directory = GroupDirectory(num_rings=3, smin=2, smax=smax)
+    rng = random.Random(seed)
+    nodes = []
+    while len(nodes) < count:
+        node_id = rng.getrandbits(128)
+        if node_id not in nodes:
+            directory.add_node(node_id)
+            nodes.append(node_id)
+    return directory, nodes
+
+
+class TestChannelKey:
+    def test_order_free(self):
+        assert channel_key(3, 7) == channel_key(7, 3) == (3, 7)
+
+    def test_same_group_rejected(self):
+        with pytest.raises(ValueError):
+            channel_key(3, 3)
+
+
+class TestChannelDirectory:
+    def test_channel_is_union_of_both_groups(self):
+        directory, _ = build_directory()
+        channels = ChannelDirectory(directory)
+        gids = list(directory.groups)
+        assert len(gids) >= 2
+        view = channels.channel_view(gids[0], gids[1])
+        expected = directory.groups[gids[0]].members | directory.groups[gids[1]].members
+        assert view.members == expected
+
+    def test_channel_carries_id_keys(self):
+        from repro.crypto.keys import KeyPair
+
+        directory = GroupDirectory(num_rings=2, smin=2, smax=4)
+        rng = random.Random(1)
+        for i in range(6):
+            directory.add_node(rng.getrandbits(128), KeyPair.generate("sim", seed=i).public)
+        channels = ChannelDirectory(directory)
+        gids = list(directory.groups)
+        view = channels.channel_view(gids[0], gids[1])
+        assert all(view.id_key(n) is not None for n in view.members)
+
+    def test_cache_reuses_unchanged_views(self):
+        directory, _ = build_directory()
+        channels = ChannelDirectory(directory)
+        gids = list(directory.groups)
+        first = channels.channel_view(gids[0], gids[1])
+        second = channels.channel_view(gids[1], gids[0])
+        assert first is second
+
+    def test_cache_invalidated_by_membership_change(self):
+        directory, nodes = build_directory()
+        channels = ChannelDirectory(directory)
+        gids = list(directory.groups)
+        before = channels.channel_view(gids[0], gids[1])
+        victim = next(iter(directory.groups[gids[0]].members))
+        directory.remove_node(victim)
+        after = channels.channel_view(gids[0], gids[1])
+        assert after is not before
+        assert victim not in after.members
+
+    def test_explicit_invalidate(self):
+        directory, _ = build_directory()
+        channels = ChannelDirectory(directory)
+        gids = list(directory.groups)
+        before = channels.channel_view(gids[0], gids[1])
+        channels.invalidate()
+        after = channels.channel_view(gids[0], gids[1])
+        assert after is not before
+        assert after.members == before.members
+
+    def test_channel_rings_span_both_groups(self):
+        directory, _ = build_directory(count=16, smax=8, seed=3)
+        channels = ChannelDirectory(directory)
+        gids = list(directory.groups)[:2]
+        view = channels.channel_view(gids[0], gids[1])
+        some_member = next(iter(directory.groups[gids[0]].members))
+        # Walking ring 0 from a member of group A must reach group B.
+        reached = {some_member}
+        cursor = some_member
+        for _ in range(len(view)):
+            cursor = view.topology.successor(cursor, 0)
+            reached.add(cursor)
+        assert reached & directory.groups[gids[1]].members

@@ -1,0 +1,56 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_fig3_options(self):
+        args = build_parser().parse_args(["fig3", "--group-size", "500", "--relays", "3"])
+        assert args.group_size == 500 and args.relays == 3 and args.rings == 7
+
+
+class TestCommands:
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Dissent v1" in out and "100000" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "RAC-1000" in out
+
+    def test_fig3_custom_group(self, capsys):
+        assert main(["fig3", "--group-size", "500"]) == 0
+        assert "RAC-500" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "5.8e-1020" in capsys.readouterr().out
+
+    def test_claims_exit_code_reflects_holding(self, capsys):
+        assert main(["claims"]) == 0
+        assert "yes" in capsys.readouterr().out
+
+    def test_nash(self, capsys):
+        assert main(["nash"]) == 0
+        assert "Theorem 1 (Nash equilibrium): holds" in capsys.readouterr().out
+
+    def test_ablation(self, capsys):
+        assert main(["ablation"]) == 0
+        out = capsys.readouterr().out
+        assert "Ablation: relays L" in out and "recommended" in out
+
+    def test_trace(self, capsys):
+        assert main(["trace", "--population", "8", "--seed", "7"]) == 0
+        assert "Step 3" in capsys.readouterr().out

@@ -1,0 +1,76 @@
+"""Unit tests for RacConfig validation and derived thresholds."""
+
+import pytest
+
+from repro.core.config import RacConfig
+
+
+def small(**overrides):
+    base = dict(
+        num_relays=2,
+        num_rings=3,
+        group_min=2,
+        group_max=100,
+        message_size=2048,
+        puzzle_bits=2,
+    )
+    base.update(overrides)
+    return RacConfig(**base)
+
+
+class TestValidation:
+    def test_paper_defaults(self):
+        config = RacConfig()
+        assert config.num_relays == 5
+        assert config.num_rings == 7
+        assert config.message_size == 10_000
+
+    def test_zero_relays_rejected(self):
+        with pytest.raises(ValueError):
+            small(num_relays=0)
+
+    def test_zero_rings_rejected(self):
+        with pytest.raises(ValueError):
+            small(num_rings=0)
+
+    def test_tiny_groups_rejected(self):
+        with pytest.raises(ValueError):
+            small(group_min=1)
+
+    def test_group_max_must_allow_splitting(self):
+        with pytest.raises(ValueError):
+            small(group_min=10, group_max=19)
+
+    def test_tiny_messages_rejected(self):
+        with pytest.raises(ValueError):
+            small(message_size=100)
+
+    def test_majority_opponents_rejected(self):
+        with pytest.raises(ValueError):
+            small(assumed_opponent_fraction=0.5)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            small(key_backend="rot13")
+
+
+class TestThresholds:
+    def test_predecessor_threshold_is_t_plus_one(self):
+        config = small(num_rings=7, assumed_opponent_fraction=0.1)
+        # t = ceil(0.1 * 7) = 1, threshold = 2
+        assert config.predecessor_accusation_threshold(100) == 2
+
+    def test_predecessor_threshold_capped_by_rings(self):
+        config = small(num_rings=3, assumed_opponent_fraction=0.4)
+        # t = min(R-1, ceil(0.4*3)=2) = 2, threshold 3
+        assert config.predecessor_accusation_threshold(100) == 3
+
+    def test_relay_threshold_is_fg_plus_one(self):
+        config = small(assumed_opponent_fraction=0.1)
+        assert config.relay_accusation_threshold(50) == 6
+        assert config.relay_accusation_threshold(14) == 2
+
+    def test_zero_opponents_means_single_accuser(self):
+        config = small(assumed_opponent_fraction=0.0)
+        assert config.relay_accusation_threshold(1000) == 1
+        assert config.predecessor_accusation_threshold(1000) == 1

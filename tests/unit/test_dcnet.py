@@ -1,0 +1,92 @@
+"""Unit tests for the DC-net substrate."""
+
+import pytest
+
+from repro.baselines.dcnet import DCNet, DCNetMember, pad_for
+
+
+class TestPads:
+    def test_deterministic(self):
+        assert pad_for(b"s", 3, 64) == pad_for(b"s", 3, 64)
+
+    def test_round_sensitive(self):
+        assert pad_for(b"s", 3, 64) != pad_for(b"s", 4, 64)
+
+    def test_exact_length(self):
+        assert len(pad_for(b"s", 0, 100)) == 100
+
+    def test_pairwise_secrets_symmetric(self):
+        a = DCNetMember(0, b"seed", 3)
+        b = DCNetMember(1, b"seed", 3)
+        assert a._secrets[1] == b._secrets[0]
+
+
+class TestRounds:
+    def test_message_revealed(self):
+        net = DCNet(5, b"seed", slot_length=32)
+        outcome = net.run_round(sender=3, message=b"hello world")
+        assert outcome.revealed == b"hello world"
+        assert not outcome.collision
+
+    def test_empty_round_reveals_nothing(self):
+        net = DCNet(4, b"seed", slot_length=32)
+        outcome = net.run_round()
+        assert outcome.revealed == b""
+
+    def test_anonymity_transmissions_look_alike(self):
+        # Without the combination step, no single member's vector
+        # reveals whether it was the sender: all are full-length noise.
+        net = DCNet(4, b"seed", slot_length=32)
+        sender_vec = net.members[1].transmission(0, 32, b"m".ljust(32, b"\x00"))
+        silent_vec = net.members[2].transmission(0, 32, None)
+        assert len(sender_vec) == len(silent_vec) == 32
+        assert sender_vec != silent_vec  # but both look random
+
+    def test_collision_garbles(self):
+        net = DCNet(4, b"seed", slot_length=16)
+        outcome = net.run_round_multi({0: b"aaaa", 1: b"bbbb"})
+        assert outcome.collision
+        assert outcome.revealed not in (b"aaaa", b"bbbb")
+
+    def test_round_numbers_advance(self):
+        net = DCNet(3, b"seed")
+        first = net.run_round()
+        second = net.run_round()
+        assert (first.round_number, second.round_number) == (0, 1)
+
+    def test_all_to_all_cost(self):
+        net = DCNet(6, b"seed", slot_length=64)
+        outcome = net.run_round(sender=0, message=b"x")
+        assert outcome.messages_on_wire == 6 * 5
+        assert outcome.bytes_on_wire == 6 * 5 * 64
+
+    def test_oversized_message_rejected(self):
+        net = DCNet(3, b"seed", slot_length=4)
+        with pytest.raises(ValueError):
+            net.run_round(sender=0, message=b"toolong")
+
+    def test_sender_without_message_rejected(self):
+        net = DCNet(3, b"seed")
+        with pytest.raises(ValueError):
+            net.run_round(sender=1)
+
+    def test_too_small_net_rejected(self):
+        with pytest.raises(ValueError):
+            DCNet(1, b"seed")
+
+
+class TestReservation:
+    def test_order_is_deterministic(self):
+        net = DCNet(5, b"seed")
+        assert net.reserve_slots([4, 1, 3]) == [1, 3, 4]
+
+    def test_unknown_member_rejected(self):
+        net = DCNet(3, b"seed")
+        with pytest.raises(ValueError):
+            net.reserve_slots([7])
+
+    def test_reservation_charged(self):
+        net = DCNet(4, b"seed")
+        before = net.total_messages
+        net.reserve_slots([0, 1])
+        assert net.total_messages > before

@@ -1,0 +1,69 @@
+"""Unit tests for repro.crypto.dh (Diffie-Hellman KEM)."""
+
+import pytest
+
+from repro.crypto import dh
+
+
+class TestKeyGeneration:
+    def test_seeded_generation_is_deterministic(self):
+        a = dh.generate_keypair(dh.GROUP_TEST, seed=42)
+        b = dh.generate_keypair(dh.GROUP_TEST, seed=42)
+        assert a.exponent == b.exponent
+
+    def test_different_seeds_differ(self):
+        a = dh.generate_keypair(dh.GROUP_TEST, seed=1)
+        b = dh.generate_keypair(dh.GROUP_TEST, seed=2)
+        assert a.exponent != b.exponent
+
+    def test_unseeded_generation_is_random(self):
+        a = dh.generate_keypair(dh.GROUP_TEST)
+        b = dh.generate_keypair(dh.GROUP_TEST)
+        assert a.exponent != b.exponent
+
+    def test_public_key_in_group(self):
+        keypair = dh.generate_keypair(dh.GROUP_TEST, seed=7)
+        pub = keypair.public_key()
+        assert 1 < pub.value < dh.GROUP_TEST.prime
+
+
+class TestSharedSecret:
+    def test_agreement(self):
+        alice = dh.generate_keypair(dh.GROUP_TEST, seed=1)
+        bob = dh.generate_keypair(dh.GROUP_TEST, seed=2)
+        assert alice.shared_secret(bob.public_key()) == bob.shared_secret(alice.public_key())
+
+    def test_third_party_differs(self):
+        alice = dh.generate_keypair(dh.GROUP_TEST, seed=1)
+        bob = dh.generate_keypair(dh.GROUP_TEST, seed=2)
+        eve = dh.generate_keypair(dh.GROUP_TEST, seed=3)
+        assert alice.shared_secret(bob.public_key()) != alice.shared_secret(eve.public_key())
+
+    def test_secret_is_32_bytes(self):
+        alice = dh.generate_keypair(dh.GROUP_TEST, seed=1)
+        bob = dh.generate_keypair(dh.GROUP_TEST, seed=2)
+        assert len(alice.shared_secret(bob.public_key())) == 32
+
+    def test_cross_group_rejected(self):
+        small = dh.generate_keypair(dh.GROUP_TEST, seed=1)
+        large = dh.generate_keypair(dh.GROUP_2048, seed=2)
+        with pytest.raises(ValueError):
+            small.shared_secret(large.public_key())
+
+
+class TestGroup2048:
+    def test_agreement_on_real_group(self):
+        alice = dh.generate_keypair(dh.GROUP_2048, seed=1)
+        bob = dh.generate_keypair(dh.GROUP_2048, seed=2)
+        assert alice.shared_secret(bob.public_key()) == bob.shared_secret(alice.public_key())
+
+    def test_prime_is_2048_bits(self):
+        assert dh.GROUP_2048.prime.bit_length() == 2048
+
+
+class TestFingerprint:
+    def test_stable_and_distinct(self):
+        a = dh.generate_keypair(dh.GROUP_TEST, seed=1).public_key()
+        b = dh.generate_keypair(dh.GROUP_TEST, seed=2).public_key()
+        assert a.fingerprint() == a.fingerprint()
+        assert a.fingerprint() != b.fingerprint()

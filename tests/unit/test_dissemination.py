@@ -1,0 +1,38 @@
+"""Unit tests for the ring-reliability (dissemination coverage) sweep."""
+
+import pytest
+
+from repro.experiments.dissemination import (
+    coverage_vs_rings,
+    measure_coverage,
+    render_coverage,
+)
+
+
+class TestMeasureCoverage:
+    def test_no_opponents_full_coverage(self):
+        point = measure_coverage(50, num_rings=1, opponent_fraction=0.0, trials=20)
+        assert point.mean_coverage == 1.0
+        assert point.full_coverage_rate == 1.0
+
+    def test_single_ring_is_fragile(self):
+        point = measure_coverage(100, num_rings=1, opponent_fraction=0.1, trials=50, seed=1)
+        assert point.full_coverage_rate < 0.2
+
+    def test_many_rings_are_robust(self):
+        point = measure_coverage(100, num_rings=7, opponent_fraction=0.1, trials=50, seed=2)
+        assert point.full_coverage_rate > 0.95
+
+    def test_redundancy_is_monotone(self):
+        points = coverage_vs_rings(group_size=80, ring_counts=(1, 3, 7), trials=60, seed=3)
+        coverages = [p.mean_coverage for p in points]
+        assert coverages == sorted(coverages)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            measure_coverage(50, 3, opponent_fraction=1.0)
+
+    def test_render(self):
+        points = coverage_vs_rings(group_size=40, ring_counts=(1, 3), trials=10)
+        text = render_coverage(points, group_size=40)
+        assert "Broadcast reliability" in text and "R (rings)" in text

@@ -1,0 +1,97 @@
+"""Unit tests for the Dissent v1 and v2 baseline implementations."""
+
+import random
+
+import pytest
+
+from repro.baselines.dissent_v1 import DissentV1Group
+from repro.baselines.dissent_v2 import DissentV2System
+from repro.crypto.shuffle import DishonestParticipant
+
+
+class TestDissentV1:
+    def test_round_delivers_all_messages(self):
+        group = DissentV1Group(5, message_length=64, seed=1)
+        messages = [b"msg-%d" % i for i in range(5)]
+        outcome = group.run_round(messages)
+        assert outcome.success
+        assert sorted(outcome.messages) == sorted(messages)
+
+    def test_output_order_hides_senders(self):
+        # At least one of a few seeds must produce a non-identity order.
+        messages = [b"m%d" % i for i in range(6)]
+        permuted = False
+        for seed in range(4):
+            group = DissentV1Group(6, message_length=16, seed=seed)
+            outcome = group.run_round(messages)
+            if outcome.messages != [m for m in messages]:
+                permuted = True
+        assert permuted
+
+    def test_disruptor_blamed_and_round_fails(self):
+        group = DissentV1Group(4, message_length=32, seed=2)
+        cheater = DishonestParticipant(1, "corrupt", rng=random.Random(5))
+        outcome = group.run_round([b"a", b"b", b"c", b"d"], dishonest={1: cheater})
+        assert not outcome.success
+        assert outcome.blamed == [1]
+
+    def test_wire_cost_scales_quadratically_per_message(self):
+        small = DissentV1Group(4, message_length=32, seed=3)
+        large = DissentV1Group(8, message_length=32, seed=3)
+        cost_small = small.run_round([b"x"] * 4).messages_on_wire / 4
+        cost_large = large.run_round([b"x"] * 8).messages_on_wire / 8
+        # Per delivered message the cost grows ~quadratically: ratio ~4.
+        assert cost_large / cost_small == pytest.approx(4.0, rel=0.35)
+
+    def test_message_count_validation(self):
+        group = DissentV1Group(3, message_length=16)
+        with pytest.raises(ValueError):
+            group.run_round([b"only-one"])
+
+    def test_oversized_message_rejected(self):
+        group = DissentV1Group(2, message_length=4)
+        with pytest.raises(ValueError):
+            group.run_round([b"toolong", b"ok"])
+
+    def test_copies_per_round_signature(self):
+        assert DissentV1Group(10, message_length=8).copies_per_round() == 100
+
+
+class TestDissentV2:
+    def test_round_delivers_all_messages(self):
+        system = DissentV2System(9, server_count=3, message_length=32, seed=4)
+        messages = [b"c%d" % i for i in range(9)]
+        outcome = system.run_round(messages)
+        assert outcome.success
+        assert sorted(outcome.messages) == sorted(messages)
+
+    def test_clients_spread_evenly(self):
+        system = DissentV2System(10, server_count=3, message_length=16)
+        sizes = {}
+        for client, server in system.assignment.items():
+            sizes[server] = sizes.get(server, 0) + 1
+        assert max(sizes.values()) - min(sizes.values()) <= 1
+
+    def test_optimal_server_count_default(self):
+        system = DissentV2System(100, message_length=16)
+        assert system.server_count == 10
+
+    def test_bottleneck_grows_with_clients(self):
+        small = DissentV2System(8, server_count=2, message_length=16, seed=5)
+        large = DissentV2System(32, server_count=2, message_length=16, seed=5)
+        cost_small = small.run_round([b"x"] * 8).bottleneck_server_copies
+        cost_large = large.run_round([b"x"] * 32).bottleneck_server_copies
+        assert cost_large > cost_small * 4
+
+    def test_analytic_bottleneck_form(self):
+        system = DissentV2System(100, server_count=10, message_length=16)
+        assert system.copies_per_message_at_bottleneck() == pytest.approx(10 + 10)
+
+    def test_single_server_rejected(self):
+        with pytest.raises(ValueError):
+            DissentV2System(10, server_count=1)
+
+    def test_message_count_validation(self):
+        system = DissentV2System(4, server_count=2, message_length=16)
+        with pytest.raises(ValueError):
+            system.run_round([b"x"] * 3)

@@ -1,0 +1,131 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simnet.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_ties_fire_in_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "first")
+        sim.schedule(1.0, fired.append, "second")
+        sim.run()
+        assert fired == ["first", "second"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.5]
+        assert sim.now == 3.5
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        seen = []
+        sim.schedule_at(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+
+
+class TestCancellation:
+    def test_cancelled_events_do_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancelled_events_skipped_by_peek(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        later = sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.peek_time() == 2.0
+        del later
+
+
+class TestBoundedRuns:
+    def test_run_until_holds_back_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=2.0)
+        assert fired == ["a"]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i), fired.append, i)
+        sim.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_chained_run_until_is_cumulative(self):
+        sim = Simulator()
+        fired = []
+        for i in range(1, 5):
+            sim.schedule(float(i), fired.append, i)
+        sim.run(until=1.5)
+        sim.run(until=3.5)
+        assert fired == [1, 2, 3]
+
+
+class TestIntrospection:
+    def test_idle_reporting(self):
+        sim = Simulator()
+        assert sim.idle()
+        sim.schedule(1.0, lambda: None)
+        assert not sim.idle()
+        sim.run()
+        assert sim.idle()
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(3):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 3
+
+    def test_step_returns_false_when_idle(self):
+        assert Simulator().step() is False

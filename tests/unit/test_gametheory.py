@@ -1,0 +1,85 @@
+"""Unit tests for the Nash-equilibrium deviation analysis."""
+
+import pytest
+
+from repro.analysis.gametheory import Deviation, NashAnalysis, UtilityWeights
+
+
+class TestUtilityWeights:
+    def test_defaults_respect_paper_ordering(self):
+        w = UtilityWeights()
+        assert min(w.alpha, w.beta, w.gamma) > max(w.delta, w.omega, w.phi)
+
+    def test_violating_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            UtilityWeights(alpha=0.01, delta=1.0)
+
+    def test_honest_round_utility(self):
+        assert UtilityWeights(alpha=1, beta=2, gamma=3).honest_round_utility() == 6
+
+
+class TestDetectionMachinery:
+    def test_follower_threshold_t_plus_one(self):
+        analysis = NashAnalysis(num_rings=7, opponent_fraction=0.1)
+        assert analysis.follower_threshold() == 2  # ceil(0.7)=1, +1
+
+    def test_follower_detection_nearly_certain_at_low_f(self):
+        analysis = NashAnalysis(num_rings=7, opponent_fraction=0.05)
+        assert analysis.follower_detection_probability() > 0.999
+
+    def test_detection_decreases_with_more_opponents(self):
+        low = NashAnalysis(num_rings=7, opponent_fraction=0.05)
+        high = NashAnalysis(num_rings=7, opponent_fraction=0.4)
+        assert high.follower_detection_probability() < low.follower_detection_probability()
+
+    def test_relay_eviction_rate_scales_with_traffic(self):
+        slow = NashAnalysis(relayed_onions_per_round=0.1)
+        fast = NashAnalysis(relayed_onions_per_round=10.0)
+        assert fast.relay_eviction_rate() > slow.relay_eviction_rate()
+
+    def test_majority_opponents_rejected(self):
+        with pytest.raises(ValueError):
+            NashAnalysis(opponent_fraction=0.6)
+
+
+class TestTheorem1:
+    def test_paper_configuration_is_nash(self):
+        assert NashAnalysis().is_nash_equilibrium()
+
+    def test_all_seven_lemmas_covered(self):
+        lemmas = sorted(d.lemma for d in NashAnalysis().deviations())
+        assert lemmas == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_every_deviation_loses(self):
+        for outcome in NashAnalysis().evaluate_all():
+            assert outcome.gain < 0, outcome.deviation.name
+
+    def test_detected_deviations_have_finite_horizon(self):
+        for outcome in NashAnalysis().evaluate_all():
+            if outcome.deviation.detection_probability > 0:
+                assert outcome.expected_rounds_until_eviction < float("inf")
+
+    def test_equilibrium_breaks_without_eviction(self):
+        # Sanity: if detection were impossible AND there were no
+        # self-inflicted losses, freeriding would pay — i.e. the
+        # equilibrium really is carried by the protocol's checks.
+        analysis = NashAnalysis()
+        fantasy = Deviation(
+            name="freeride-without-consequences",
+            lemma=0,
+            forwarding_saved=1.0,
+            detection_probability=0.0,
+            self_inflicted_loss=0.0,
+        )
+        outcome = analysis.evaluate(fantasy)
+        assert outcome.gain > 0
+
+    def test_holds_across_opponent_fractions(self):
+        for f in (0.0, 0.1, 0.3, 0.49):
+            assert NashAnalysis(opponent_fraction=f).is_nash_equilibrium(), f
+
+    def test_holds_with_small_groups(self):
+        assert NashAnalysis(group_size=20).is_nash_equilibrium()
+
+    def test_holds_when_mostly_idle(self):
+        assert NashAnalysis(idle_fraction=0.95).is_nash_equilibrium()

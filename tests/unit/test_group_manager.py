@@ -1,0 +1,144 @@
+"""Unit tests for the group directory (split/dissolve lifecycle)."""
+
+import random
+
+import pytest
+
+from repro.groups.manager import GroupDirectory, GroupEvent
+
+
+def spread_ids(count, seed=0):
+    """Well-spread pseudo-random 128-bit ids (like puzzle outputs)."""
+    rng = random.Random(seed)
+    ids = set()
+    while len(ids) < count:
+        ids.add(rng.getrandbits(128))
+    return sorted(ids)
+
+
+class TestAssignment:
+    def test_single_group_initially(self):
+        directory = GroupDirectory(num_rings=3)
+        assert len(directory.groups) == 1
+
+    def test_nodes_land_in_covering_group(self):
+        directory = GroupDirectory(num_rings=3)
+        for node_id in spread_ids(10):
+            directory.add_node(node_id)
+            assert directory.group_of_node(node_id).covers(node_id)
+        directory.check_invariants()
+
+    def test_double_add_rejected(self):
+        directory = GroupDirectory(num_rings=3)
+        directory.add_node(42)
+        with pytest.raises(ValueError):
+            directory.add_node(42)
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            GroupDirectory(num_rings=3).remove_node(42)
+
+    def test_join_event_emitted(self):
+        directory = GroupDirectory(num_rings=3)
+        events = directory.add_node(42)
+        assert events[0] == GroupEvent("join", directory.group_of_node(42).gid, node_id=42)
+
+
+class TestSplit:
+    def test_split_when_exceeding_smax(self):
+        directory = GroupDirectory(num_rings=3, smin=2, smax=8)
+        for node_id in spread_ids(9):
+            events = directory.add_node(node_id)
+        kinds = [e.kind for e in events]
+        assert "split" in kinds
+        assert len(directory.groups) == 2
+        directory.check_invariants()
+
+    def test_split_halves_are_balanced(self):
+        directory = GroupDirectory(num_rings=3, smin=2, smax=8)
+        for node_id in spread_ids(9, seed=1):
+            directory.add_node(node_id)
+        sizes = sorted(directory.sizes().values())
+        assert sizes == [4, 5]
+
+    def test_lower_ids_stay_higher_ids_move(self):
+        directory = GroupDirectory(num_rings=3, smin=2, smax=8)
+        ids = spread_ids(9, seed=2)
+        for node_id in ids:
+            directory.add_node(node_id)
+        groups = sorted(directory.groups.values(), key=lambda g: g.lo)
+        assert max(groups[0].members) < min(groups[1].members)
+
+    def test_repeated_splits(self):
+        directory = GroupDirectory(num_rings=3, smin=2, smax=6)
+        for node_id in spread_ids(40, seed=3):
+            directory.add_node(node_id)
+        directory.check_invariants()
+        assert len(directory.groups) >= 4
+        assert all(size <= 6 for size in directory.sizes().values())
+
+    def test_smax_below_twice_smin_rejected(self):
+        with pytest.raises(ValueError):
+            GroupDirectory(num_rings=3, smin=10, smax=19)
+
+
+class TestDissolve:
+    def build_two_groups(self):
+        directory = GroupDirectory(num_rings=3, smin=3, smax=8)
+        ids = spread_ids(9, seed=4)
+        for node_id in ids:
+            directory.add_node(node_id)
+        assert len(directory.groups) == 2
+        return directory
+
+    def test_dissolve_below_smin(self):
+        directory = self.build_two_groups()
+        small_gid, victims = None, []
+        sizes = directory.sizes()
+        small_gid = min(sizes, key=sizes.get)
+        victims = sorted(directory.groups[small_gid].members)
+        # Shrink the small group below smin.
+        events = []
+        for node_id in victims[: len(victims) - 2]:
+            events = directory.remove_node(node_id)
+        assert any(e.kind == "dissolve" for e in events)
+        assert small_gid not in directory.groups
+        directory.check_invariants()
+
+    def test_last_group_never_dissolves(self):
+        directory = GroupDirectory(num_rings=3, smin=5, smax=100)
+        directory.add_node(1)
+        directory.add_node(2)
+        events = directory.remove_node(1)
+        assert [e.kind for e in events] == ["leave"]
+        assert len(directory.groups) == 1
+
+    def test_members_rehomed_after_dissolve(self):
+        directory = self.build_two_groups()
+        sizes = directory.sizes()
+        small_gid = min(sizes, key=sizes.get)
+        survivors = sorted(directory.groups[small_gid].members)
+        for node_id in survivors[:-2]:
+            directory.remove_node(node_id)
+        for node_id in survivors[-2:]:
+            group = directory.group_of_node(node_id)
+            assert node_id in group.members
+        directory.check_invariants()
+
+
+class TestInvariantChecker:
+    def test_random_churn_preserves_invariants(self):
+        rng = random.Random(9)
+        directory = GroupDirectory(num_rings=2, smin=2, smax=10)
+        alive = []
+        for step in range(300):
+            if alive and rng.random() < 0.4:
+                node_id = alive.pop(rng.randrange(len(alive)))
+                directory.remove_node(node_id)
+            else:
+                node_id = rng.getrandbits(128)
+                if node_id not in alive:
+                    directory.add_node(node_id)
+                    alive.append(node_id)
+            directory.check_invariants()
+        assert set(directory.node_ids) == set(alive)

@@ -1,0 +1,79 @@
+"""Unit tests for repro.crypto.hashes."""
+
+import pytest
+
+from repro.crypto import hashes
+
+
+class TestSha256Int:
+    def test_deterministic(self):
+        assert hashes.sha256_int(b"abc") == hashes.sha256_int(b"abc")
+
+    def test_distinct_inputs_differ(self):
+        assert hashes.sha256_int(b"abc") != hashes.sha256_int(b"abd")
+
+    def test_length_prefixing_prevents_concatenation_ambiguity(self):
+        assert hashes.sha256_int(b"ab", b"c") != hashes.sha256_int(b"a", b"bc")
+
+    def test_accepts_strings_and_ints(self):
+        assert hashes.sha256_int("abc") == hashes.sha256_int(b"abc")
+        assert isinstance(hashes.sha256_int(12345), int)
+
+    def test_result_within_hash_bits(self):
+        assert 0 <= hashes.sha256_int(b"x") < (1 << hashes.HASH_BITS)
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ValueError):
+            hashes.sha256_int(-1)
+
+    def test_unhashable_type_rejected(self):
+        with pytest.raises(TypeError):
+            hashes.sha256_int(3.14)
+
+
+class TestOnewayFunctions:
+    def test_f_and_g_are_domain_separated(self):
+        assert hashes.oneway_f(b"v") != hashes.sha256_int(b"v")
+        assert hashes.oneway_g(b"k", b"v") != hashes.oneway_f(b"v")
+
+    def test_g_depends_on_both_arguments(self):
+        base = hashes.oneway_g(1, 2)
+        assert base != hashes.oneway_g(1, 3)
+        assert base != hashes.oneway_g(2, 2)
+
+    def test_g_argument_order_matters(self):
+        assert hashes.oneway_g(1, 2) != hashes.oneway_g(2, 1)
+
+
+class TestTruncatedBits:
+    def test_masks_low_bits(self):
+        assert hashes.truncated_bits(0b101101, 3) == 0b101
+
+    def test_zero_bits_is_zero(self):
+        assert hashes.truncated_bits(12345, 0) == 0
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            hashes.truncated_bits(1, -1)
+
+
+class TestRingPosition:
+    def test_different_rings_give_different_positions(self):
+        node = 42
+        positions = {hashes.ring_position(node, r) for r in range(8)}
+        assert len(positions) == 8
+
+    def test_different_nodes_give_different_positions(self):
+        assert hashes.ring_position(1, 0) != hashes.ring_position(2, 0)
+
+    def test_negative_ring_rejected(self):
+        with pytest.raises(ValueError):
+            hashes.ring_position(1, -1)
+
+
+class TestMessageId:
+    def test_stable(self):
+        assert hashes.message_id(b"payload") == hashes.message_id(b"payload")
+
+    def test_content_sensitive(self):
+        assert hashes.message_id(b"payload") != hashes.message_id(b"payloae")

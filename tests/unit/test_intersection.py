@@ -1,0 +1,64 @@
+"""Unit tests for the intersection-attack analysis."""
+
+import math
+
+import pytest
+
+from repro.analysis.intersection import (
+    candidate_set_after_rounds,
+    forced_eviction_probability,
+    rounds_to_deanonymize,
+)
+
+
+class TestRawAttackPower:
+    def test_linear_shrink(self):
+        assert candidate_set_after_rounds(1000, 10, 5) == 950
+
+    def test_floors_at_one(self):
+        assert candidate_set_after_rounds(100, 50, 10) == 1
+
+    def test_no_removals_no_shrink(self):
+        assert candidate_set_after_rounds(1000, 0, 100) == 1000
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            candidate_set_after_rounds(0, 1, 1)
+
+
+class TestForcedEvictions:
+    def test_matches_paper_bound(self):
+        # f=5%, R=7: < 6.0e-6 per target (§V-A2 case 2).
+        p = forced_eviction_probability(7, 0.05, 1000)
+        assert p.value == pytest.approx(5.9e-6, rel=0.05)
+
+    def test_more_rings_harden(self):
+        weak = forced_eviction_probability(5, 0.1, 1000)
+        strong = forced_eviction_probability(9, 0.1, 1000)
+        assert strong < weak
+
+    def test_no_opponents_no_evictions(self):
+        assert forced_eviction_probability(7, 0.0, 1000).value == 0.0
+
+
+class TestDeanonymizationCost:
+    def test_paper_parameters_are_astronomic(self):
+        result = rounds_to_deanonymize(1000, R=7, f=0.05)
+        assert result.expected_attack_rounds > 1e7
+        assert result.evictions_needed == 999
+
+    def test_zero_opponents_means_infinite(self):
+        result = rounds_to_deanonymize(1000, R=7, f=0.0)
+        assert math.isinf(result.expected_attack_rounds)
+
+    def test_already_at_target(self):
+        result = rounds_to_deanonymize(1000, R=7, f=0.05, target_set_size=1000)
+        assert result.expected_attack_rounds == 0.0
+
+    def test_describe(self):
+        text = rounds_to_deanonymize(1000, R=7, f=0.05).describe()
+        assert "G=1000" in text and "rounds" in text
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            rounds_to_deanonymize(100, R=7, f=0.05, target_set_size=0)

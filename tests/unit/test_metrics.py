@@ -1,0 +1,89 @@
+"""Unit tests for anonymity metrics and Sybil economics."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    degree_of_anonymity,
+    shannon_entropy_bits,
+    sybil_placement_cost,
+    uniform_degree,
+)
+
+
+class TestEntropy:
+    def test_uniform_entropy(self):
+        assert shannon_entropy_bits([0.25] * 4) == pytest.approx(2.0)
+
+    def test_point_mass_entropy(self):
+        assert shannon_entropy_bits([1.0, 0.0, 0.0]) == 0.0
+
+    def test_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            shannon_entropy_bits([0.5, 0.2])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            shannon_entropy_bits([1.5, -0.5])
+
+
+class TestDegree:
+    def test_uniform_is_one(self):
+        assert degree_of_anonymity([0.1] * 10) == pytest.approx(1.0)
+
+    def test_identified_is_zero(self):
+        assert degree_of_anonymity([1.0, 0.0, 0.0]) == 0.0
+
+    def test_skew_is_in_between(self):
+        d = degree_of_anonymity([0.7, 0.1, 0.1, 0.1])
+        assert 0.0 < d < 1.0
+
+    def test_singleton_is_zero(self):
+        assert degree_of_anonymity([1.0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            degree_of_anonymity([])
+
+    def test_uniform_helper(self):
+        assert uniform_degree(1) == 0.0
+        assert uniform_degree(1000) == 1.0
+
+    def test_observer_posterior_scores_perfect(self):
+        # The observer's candidate set is the whole group with a
+        # uniform guess: degree 1 by construction.
+        group = 14
+        assert degree_of_anonymity([1 / group] * group) == pytest.approx(1.0)
+
+
+class TestSybilCost:
+    def test_paper_scale_numbers(self):
+        # N=100k, G=1000, mk=16: one Sybil in a chosen group costs
+        # ~100 admissions = ~6.6M hashes.
+        cost = sybil_placement_cost(1, 100_000, 1000, 16)
+        assert cost.expected_admissions == pytest.approx(100.0)
+        assert cost.expected_hash_evaluations == pytest.approx(100 * 65536)
+
+    def test_scales_linearly_with_targets(self):
+        one = sybil_placement_cost(1, 100_000, 1000, 16)
+        fifty = sybil_placement_cost(50, 100_000, 1000, 16)
+        assert fifty.expected_admissions == pytest.approx(50 * one.expected_admissions)
+
+    def test_controlling_a_group_majority_is_expensive(self):
+        # To own 501 of 1000 group slots the opponent pays ~50k
+        # admissions (3.3 billion hashes at mk=16) — and the group only
+        # holds 1000 members, so most Sybils also bloat other groups.
+        cost = sybil_placement_cost(501, 100_000, 1000, 16)
+        assert cost.expected_hash_evaluations > 3e9
+
+    def test_describe(self):
+        assert "admissions" in sybil_placement_cost(2, 1000, 100, 8).describe()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sybil_placement_cost(0, 100, 10, 8)
+        with pytest.raises(ValueError):
+            sybil_placement_cost(1, 100, 200, 8)
+        with pytest.raises(ValueError):
+            sybil_placement_cost(1, 100, 10, -1)

@@ -1,0 +1,151 @@
+"""Unit tests for the three misbehaviour checks."""
+
+import pytest
+
+from repro.core.monitor import PredecessorMonitor, RateMonitor, RelayMonitor
+from repro.overlay.broadcast import BroadcastState
+
+
+class TestRelayMonitor:
+    def test_fulfilled_chain_produces_no_suspicion(self):
+        monitor = RelayMonitor()
+        monitor.expect([10, 11, 12], relays=[7, 8], deadline=5.0)
+        for msg_id in (10, 11, 12):
+            monitor.observe(msg_id)
+        assert monitor.collect_expired(6.0) == []
+
+    def test_first_silent_relay_is_blamed(self):
+        monitor = RelayMonitor()
+        monitor.expect([10, 11, 12], relays=[7, 8], deadline=5.0)
+        monitor.observe(10)  # sender's own broadcast seen
+        verdicts = monitor.collect_expired(6.0)
+        assert len(verdicts) == 1
+        assert verdicts[0].relay == 7 and verdicts[0].msg_id == 11
+
+    def test_later_gaps_not_attributed(self):
+        # Relay 7 forwarded; relay 8 did not: only 8 is blamed.
+        monitor = RelayMonitor()
+        monitor.expect([10, 11, 12], relays=[7, 8], deadline=5.0)
+        monitor.observe(10)
+        monitor.observe(11)
+        verdicts = monitor.collect_expired(6.0)
+        assert [v.relay for v in verdicts] == [8]
+
+    def test_nothing_before_deadline(self):
+        monitor = RelayMonitor()
+        monitor.expect([10, 11], relays=[7], deadline=5.0)
+        assert monitor.collect_expired(4.9) == []
+        assert len(monitor) == 1
+
+    def test_multiple_onions_tracked_independently(self):
+        monitor = RelayMonitor()
+        monitor.expect([10, 11], relays=[7], deadline=5.0)
+        monitor.expect([20, 21], relays=[9], deadline=5.0)
+        monitor.observe(10)
+        monitor.observe(20)
+        monitor.observe(21)
+        verdicts = monitor.collect_expired(6.0)
+        assert [(v.relay, v.msg_id) for v in verdicts] == [(7, 11)]
+
+    def test_shared_msg_id_across_onions(self):
+        monitor = RelayMonitor()
+        a = monitor.expect([10, 11], relays=[7], deadline=5.0)
+        b = monitor.expect([10, 12], relays=[8], deadline=5.0)
+        monitor.observe(10)
+        monitor.observe(11)
+        monitor.observe(12)
+        assert monitor.collect_expired(6.0) == []
+        assert a != b
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            RelayMonitor().expect([1, 2, 3], relays=[7], deadline=1.0)
+
+
+class TestPredecessorMonitor:
+    def test_deadline_fires_once(self):
+        monitor = PredecessorMonitor(timeout=1.0)
+        monitor.on_first_seen(100, now=0.0, expected={(1, 0)})
+        assert monitor.due(0.5) == []
+        due = monitor.due(1.5)
+        assert due == [(100, {(1, 0)})]
+        assert monitor.due(2.0) == []
+
+    def test_expected_set_is_frozen_at_first_sight(self):
+        monitor = PredecessorMonitor(timeout=1.0)
+        expected = {(1, 0), (2, 1)}
+        monitor.on_first_seen(100, 0.0, expected)
+        expected.add((3, 2))  # later topology change must not leak in
+        due = monitor.due(2.0)
+        assert due[0][1] == {(1, 0), (2, 1)}
+
+    def test_forget_node_prunes_expectations(self):
+        monitor = PredecessorMonitor(timeout=1.0)
+        monitor.on_first_seen(100, 0.0, {(1, 0), (2, 1)})
+        monitor.forget_node(1)
+        assert monitor.due(2.0)[0][1] == {(2, 1)}
+
+    def test_missing_and_replaying_delegate_to_state(self):
+        state = BroadcastState()
+        state.on_receive(100, (1, 0), 0.0)
+        state.on_receive(100, (1, 0), 0.1)
+        expected = {(1, 0), (2, 1)}
+        assert PredecessorMonitor.missing(state, 100, expected) == {(2, 1)}
+        assert PredecessorMonitor.replaying(state, 100) == {(1, 0)}
+
+
+class TestRateMonitor:
+    def test_silent_predecessor_is_rate_low(self):
+        monitor = RateMonitor(window=1.0, max_per_window=10)
+        monitor.track(7, now=0.0)
+        verdicts = monitor.check(now=1.5)
+        assert [(v.predecessor, v.reason) for v in verdicts] == [(7, "rate-low")]
+
+    def test_active_predecessor_is_fine(self):
+        monitor = RateMonitor(window=1.0, max_per_window=10)
+        monitor.track(7, now=0.0)
+        monitor.record(7, now=1.2)
+        assert monitor.check(now=1.5) == []
+
+    def test_flooding_predecessor_is_rate_high(self):
+        monitor = RateMonitor(window=1.0, max_per_window=3)
+        monitor.track(7, now=0.0)
+        for i in range(5):
+            monitor.record(7, now=1.0 + i * 0.01)
+        verdicts = monitor.check(now=1.1)
+        assert verdicts and verdicts[0].reason == "rate-high"
+
+    def test_dynamic_cap_overrides_default(self):
+        monitor = RateMonitor(window=1.0, max_per_window=3)
+        monitor.track(7, now=0.0)
+        for i in range(5):
+            monitor.record(7, now=1.0 + i * 0.01)
+        assert monitor.check(now=1.1, max_per_window=100) == []
+
+    def test_grace_period_for_new_predecessors(self):
+        monitor = RateMonitor(window=1.0, max_per_window=10)
+        monitor.track(7, now=5.0)
+        assert monitor.check(now=5.5) == []  # observed < one window
+
+    def test_window_slides(self):
+        monitor = RateMonitor(window=1.0, max_per_window=2)
+        monitor.track(7, now=0.0)
+        monitor.record(7, now=0.1)
+        monitor.record(7, now=0.2)
+        monitor.record(7, now=2.0)  # old arrivals expired by now
+        assert monitor.check(now=2.1) == []
+
+    def test_untrack_stops_judging(self):
+        monitor = RateMonitor(window=1.0, max_per_window=10)
+        monitor.track(7, now=0.0)
+        monitor.untrack(7)
+        assert monitor.check(now=5.0) == []
+
+    def test_record_auto_tracks(self):
+        monitor = RateMonitor(window=1.0, max_per_window=10)
+        monitor.record(9, now=0.0)
+        assert 9 in monitor.tracked()
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            RateMonitor(window=0.0, max_per_window=1)

@@ -1,0 +1,138 @@
+"""Unit tests for the star-topology network model."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.network import DEFAULT_PROPAGATION_DELAY, GBPS, Link, Packet, StarNetwork
+
+
+class TestLink:
+    def test_transmission_time(self):
+        link = Link(Simulator(), bandwidth_bps=1_000_000)
+        assert link.transmission_time(1250) == pytest.approx(0.01)  # 10 kb at 1 Mb/s
+
+    def test_serialization_queues_back_to_back(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth_bps=8_000)  # 1 byte per ms
+        done = []
+        link.enqueue(10, lambda: done.append(sim.now))
+        link.enqueue(10, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(0.010), pytest.approx(0.020)]
+
+    def test_idle_link_restarts_from_now(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth_bps=8_000)
+        done = []
+        link.enqueue(10, lambda: done.append(sim.now))
+        sim.run()  # clock now at 0.010
+        sim.schedule(1.0, lambda: link.enqueue(10, lambda: done.append(sim.now)))
+        sim.run()
+        # Second transfer starts fresh at 1.010, not at the stale
+        # busy_until horizon, and serializes for another 10 ms.
+        assert done[1] == pytest.approx(1.020)
+
+    def test_queue_delay(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth_bps=8_000)
+        link.enqueue(10, lambda: None)
+        assert link.queue_delay() == pytest.approx(0.010)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            Link(Simulator(), bandwidth_bps=0)
+
+    def test_counters(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth_bps=GBPS)
+        link.enqueue(100, lambda: None)
+        link.enqueue(200, lambda: None)
+        assert link.packets_carried == 2
+        assert link.bytes_carried == 300
+
+
+class TestPacket:
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(1, 2, "x", 0)
+
+
+class TestStarNetwork:
+    def make(self):
+        sim = Simulator()
+        net = StarNetwork(sim, bandwidth_bps=1_000_000)
+        return sim, net
+
+    def test_delivery_to_handler(self):
+        sim, net = self.make()
+        received = []
+        net.attach(1, lambda p: received.append((p.src, p.payload)))
+        net.attach(2, lambda p: received.append(("wrong", p.payload)))
+        net.send(2, 1, "hello", 100)
+        sim.run()
+        assert received == [(2, "hello")]
+
+    def test_latency_includes_two_links_and_propagation(self):
+        sim, net = self.make()
+        arrival = []
+        net.attach(1, lambda p: arrival.append(sim.now))
+        net.attach(2, lambda p: None)
+        net.send(2, 1, "x", 1250)  # 10 ms per link at 1 Mb/s
+        sim.run()
+        assert arrival[0] == pytest.approx(0.020 + DEFAULT_PROPAGATION_DELAY)
+
+    def test_send_from_unattached_raises(self):
+        sim, net = self.make()
+        net.attach(1, lambda p: None)
+        with pytest.raises(KeyError):
+            net.send(99, 1, "x", 10)
+
+    def test_detached_destination_drops_silently(self):
+        sim, net = self.make()
+        received = []
+        net.attach(1, lambda p: received.append(p))
+        net.attach(2, lambda p: None)
+        net.send(2, 1, "x", 10)
+        net.detach(1)
+        sim.run()
+        assert received == []
+
+    def test_detach_mid_flight_drops(self):
+        sim, net = self.make()
+        received = []
+        net.attach(1, lambda p: received.append(p))
+        net.attach(2, lambda p: None)
+        net.send(2, 1, "x", 1250)
+        sim.run(until=0.005)  # still serializing on the uplink
+        net.detach(1)
+        sim.run()
+        assert received == []
+
+    def test_double_attach_rejected(self):
+        _sim, net = self.make()
+        net.attach(1, lambda p: None)
+        with pytest.raises(ValueError):
+            net.attach(1, lambda p: None)
+
+    def test_uplink_shared_downlinks_parallel(self):
+        # One sender to two receivers: uplink serializes (20ms total),
+        # two senders to one receiver: downlink serializes the same way.
+        sim, net = self.make()
+        times = {}
+        for node in (1, 2, 3):
+            net.attach(node, lambda p, n=node: times.setdefault(n, sim.now))
+        net.send(1, 2, "a", 1250)
+        net.send(1, 3, "b", 1250)
+        sim.run()
+        assert times[2] == pytest.approx(0.020 + DEFAULT_PROPAGATION_DELAY)
+        assert times[3] == pytest.approx(0.030 + DEFAULT_PROPAGATION_DELAY)
+
+    def test_delivery_counters(self):
+        sim, net = self.make()
+        net.attach(1, lambda p: None)
+        net.attach(2, lambda p: None)
+        net.send(1, 2, "x", 10)
+        net.send(2, 1, "y", 20)
+        sim.run()
+        assert net.packets_delivered == 2
+        assert net.bytes_delivered == 30

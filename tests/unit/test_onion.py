@@ -1,0 +1,179 @@
+"""Unit tests for onion construction, padding and peeling."""
+
+import random
+
+import pytest
+
+from repro.core.onion import (
+    build_noise,
+    build_onion,
+    onion_capacity,
+    peel,
+    unwrap_wire,
+    wrap_wire,
+)
+from repro.crypto.hashes import message_id
+from repro.crypto.keys import KeyPair
+
+PADDED = 4096
+
+
+@pytest.fixture
+def population():
+    relays = [KeyPair.generate("sim", seed=i) for i in range(1, 6)]
+    destination_id = KeyPair.generate("sim", seed=100)
+    destination_pseudonym = KeyPair.generate("sim", seed=101)
+    return relays, destination_id, destination_pseudonym
+
+
+class TestWirePadding:
+    def test_wrap_unwrap_roundtrip(self):
+        wire = wrap_wire(b"blob", 128)
+        assert len(wire) == 128
+        assert unwrap_wire(wire) == b"blob"
+
+    def test_random_padding(self):
+        rng = random.Random(1)
+        a = wrap_wire(b"blob", 128, rng=rng)
+        b = wrap_wire(b"blob", 128, rng=rng)
+        assert a != b  # padding differs
+        assert unwrap_wire(a) == unwrap_wire(b)
+
+    def test_oversized_blob_rejected(self):
+        with pytest.raises(ValueError):
+            wrap_wire(b"x" * 200, 128)
+
+    def test_corrupt_length_prefix_rejected(self):
+        wire = bytearray(wrap_wire(b"blob", 128))
+        wire[0] = 0xFF
+        with pytest.raises(ValueError):
+            unwrap_wire(bytes(wire))
+
+    def test_short_wire_rejected(self):
+        with pytest.raises(ValueError):
+            unwrap_wire(b"xy")
+
+
+class TestBuildOnion:
+    def test_every_wire_is_padded_size(self, population):
+        relays, _dest_id, dest_pseud = population
+        onion = build_onion(
+            b"payload", [r.public for r in relays], dest_pseud.public, PADDED, rng=random.Random(1)
+        )
+        assert len(onion.first_wire) == PADDED
+
+    def test_layer_count(self, population):
+        relays, _dest_id, dest_pseud = population
+        onion = build_onion(
+            b"payload", [r.public for r in relays], dest_pseud.public, PADDED, rng=random.Random(1)
+        )
+        assert len(onion.layer_msg_ids) == len(relays) + 1
+
+    def test_first_msg_id_matches_wire(self, population):
+        relays, _dest_id, dest_pseud = population
+        onion = build_onion(
+            b"payload", [r.public for r in relays], dest_pseud.public, PADDED, rng=random.Random(1)
+        )
+        assert message_id(unwrap_wire(onion.first_wire)) == onion.layer_msg_ids[0]
+
+    def test_no_relays_rejected(self, population):
+        _relays, _dest_id, dest_pseud = population
+        with pytest.raises(ValueError):
+            build_onion(b"p", [], dest_pseud.public, PADDED)
+
+    def test_capacity_is_honoured(self, population):
+        relays, _dest_id, dest_pseud = population
+        keys = [r.public for r in relays]
+        capacity = onion_capacity(PADDED, len(keys), keys[0])
+        payload = b"x" * capacity
+        onion = build_onion(payload, keys, dest_pseud.public, PADDED, rng=random.Random(2))
+        assert len(onion.first_wire) == PADDED
+
+
+class TestPeelChain:
+    def walk(self, payload, relays, dest_pseud, marker=None):
+        """Drive the onion through its full relay chain."""
+        keys = [r.public for r in relays]
+        onion = build_onion(
+            payload, keys, dest_pseud.public, PADDED, marker_gid=marker, rng=random.Random(3)
+        )
+        wire = onion.first_wire
+        seen_ids = [message_id(unwrap_wire(wire))]
+        for relay in relays:
+            result = peel(wire, relay, None, PADDED, rng=random.Random(4))
+            assert result.kind == "relay"
+            wire = result.inner_wire
+            assert len(wire) == PADDED
+            seen_ids.append(result.inner_msg_id)
+        final = peel(wire, None, dest_pseud, PADDED)
+        return onion, seen_ids, final
+
+    def test_full_chain_delivers_payload(self, population):
+        relays, _dest_id, dest_pseud = population
+        _onion, _ids, final = self.walk(b"the secret payload", relays, dest_pseud)
+        assert final.kind == "deliver"
+        assert final.payload == b"the secret payload"
+
+    def test_chain_ids_match_senders_predictions(self, population):
+        relays, _dest_id, dest_pseud = population
+        onion, seen_ids, _final = self.walk(b"p", relays, dest_pseud)
+        assert seen_ids == onion.layer_msg_ids
+
+    def test_marker_surfaces_only_at_last_relay(self, population):
+        relays, _dest_id, dest_pseud = population
+        keys = [r.public for r in relays]
+        onion = build_onion(
+            b"p", keys, dest_pseud.public, PADDED, marker_gid=77, rng=random.Random(5)
+        )
+        wire = onion.first_wire
+        for index, relay in enumerate(relays):
+            result = peel(wire, relay, None, PADDED, rng=random.Random(6))
+            assert result.kind == "relay"
+            if index == len(relays) - 1:
+                assert result.channel_gid == 77
+            else:
+                assert result.channel_gid is None
+            wire = result.inner_wire
+
+    def test_single_relay_onion(self, population):
+        relays, _dest_id, dest_pseud = population
+        _onion, _ids, final = self.walk(b"short path", relays[:1], dest_pseud)
+        assert final.payload == b"short path"
+
+    def test_uninvolved_node_sees_opaque(self, population):
+        relays, dest_id, dest_pseud = population
+        keys = [r.public for r in relays]
+        onion = build_onion(b"p", keys, dest_pseud.public, PADDED, rng=random.Random(7))
+        outsider_id = KeyPair.generate("sim", seed=500)
+        outsider_pseud = KeyPair.generate("sim", seed=501)
+        result = peel(onion.first_wire, outsider_id, outsider_pseud, PADDED)
+        assert result.kind == "opaque"
+
+    def test_destination_cannot_peel_with_id_key(self, population):
+        relays, dest_id, dest_pseud = population
+        keys = [r.public for r in relays]
+        onion = build_onion(b"p", keys, dest_pseud.public, PADDED, rng=random.Random(8))
+        wire = onion.first_wire
+        for relay in relays:
+            wire = peel(wire, relay, None, PADDED, rng=random.Random(9)).inner_wire
+        # ID key alone: nothing; pseudonym key: delivery.
+        assert peel(wire, dest_id, None, PADDED).kind == "opaque"
+        assert peel(wire, None, dest_pseud, PADDED).kind == "deliver"
+
+
+class TestNoise:
+    def test_noise_is_padded_and_opaque(self):
+        rng = random.Random(10)
+        wire = build_noise(PADDED, rng)
+        assert len(wire) == PADDED
+        anyone_id = KeyPair.generate("sim", seed=600)
+        anyone_pseud = KeyPair.generate("sim", seed=601)
+        assert peel(wire, anyone_id, anyone_pseud, PADDED).kind == "opaque"
+
+    def test_noise_messages_are_unique(self):
+        rng = random.Random(11)
+        assert build_noise(PADDED, rng) != build_noise(PADDED, rng)
+
+    def test_corrupt_wire_is_opaque_not_crash(self):
+        keypair = KeyPair.generate("sim", seed=700)
+        assert peel(b"\x00\x00", keypair, keypair, PADDED).kind == "opaque"

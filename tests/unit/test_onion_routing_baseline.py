@@ -1,0 +1,74 @@
+"""Unit tests for the plain onion-routing baseline."""
+
+import pytest
+
+from repro.baselines.onion_routing import OnionRoutingNetwork
+
+
+class TestDelivery:
+    def test_end_to_end(self):
+        net = OnionRoutingNetwork(10, seed=1)
+        outcome = net.send(0, 9, b"hello tor", length=3)
+        assert outcome.delivered
+        assert outcome.payload == b"hello tor"
+
+    def test_path_avoids_endpoints(self):
+        net = OnionRoutingNetwork(10, seed=2)
+        path = net.choose_path(0, 9, 4)
+        assert 0 not in path and 9 not in path
+        assert len(set(path)) == 4
+
+    def test_copies_equal_hops(self):
+        net = OnionRoutingNetwork(10, seed=3)
+        outcome = net.send(0, 9, b"x", length=4)
+        # L relays + final hop to the destination = L+1 unicast copies...
+        # counted as sender->relay1 (1) + relay transitions (L).
+        assert outcome.copies_on_wire == 5
+
+    def test_explicit_path_respected(self):
+        net = OnionRoutingNetwork(10, seed=4)
+        path = [2, 5, 7]
+        outcome = net.send(0, 9, b"x", path=path)
+        assert outcome.hops_taken == path
+
+    def test_single_relay(self):
+        net = OnionRoutingNetwork(5, seed=5)
+        outcome = net.send(0, 4, b"x", length=1)
+        assert outcome.delivered
+
+
+class TestFreeriderVulnerability:
+    def test_dropping_relay_kills_delivery(self):
+        net = OnionRoutingNetwork(10, seed=6)
+        path = net.choose_path(0, 9, 3)
+        net.set_dropping([path[1]])
+        outcome = net.send(0, 9, b"x", path=path)
+        assert not outcome.delivered
+        assert outcome.payload is None
+
+    def test_sender_cannot_identify_the_dropper(self):
+        # The defining weakness: the delivery report stops at the relay
+        # *before* the freerider — the sender sees where the trail went
+        # cold, not who dropped (contrast with RAC's relay check).
+        net = OnionRoutingNetwork(10, seed=7)
+        path = net.choose_path(0, 9, 3)
+        net.set_dropping([path[2]])
+        outcome = net.send(0, 9, b"x", path=path)
+        assert path[2] not in outcome.hops_taken
+
+    def test_drop_counter(self):
+        net = OnionRoutingNetwork(6, seed=8)
+        net.set_dropping([1])
+        net.send(0, 5, b"x", path=[1])
+        assert net.drops_observed == 1
+
+
+class TestValidation:
+    def test_tiny_network_rejected(self):
+        with pytest.raises(ValueError):
+            OnionRoutingNetwork(2)
+
+    def test_impossible_path_length_rejected(self):
+        net = OnionRoutingNetwork(4, seed=9)
+        with pytest.raises(ValueError):
+            net.choose_path(0, 3, 5)

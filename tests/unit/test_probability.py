@@ -1,0 +1,81 @@
+"""Unit tests for log-space probabilities."""
+
+import math
+
+import pytest
+
+from repro.analysis.probability import ONE, ZERO, LogProb
+
+
+class TestConstruction:
+    def test_from_float(self):
+        assert LogProb.from_float(0.1).log10 == pytest.approx(-1.0)
+
+    def test_from_zero(self):
+        assert LogProb.from_float(0.0) is ZERO
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            LogProb.from_float(1.5)
+        with pytest.raises(ValueError):
+            LogProb.from_float(-0.1)
+
+    def test_product_underflow_safe(self):
+        # 2000 factors of 0.1: value is 1e-2000, far below float range.
+        p = LogProb.product([0.1] * 2000)
+        assert p.log10 == pytest.approx(-2000.0)
+        assert p.value == 0.0  # underflows as a float, by design
+
+    def test_product_with_zero_factor(self):
+        assert LogProb.product([0.5, 0.0, 0.9]) is ZERO
+
+    def test_product_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            LogProb.product([1.5])
+
+
+class TestArithmetic:
+    def test_multiplication(self):
+        p = LogProb.from_float(0.1) * LogProb.from_float(0.01)
+        assert p.log10 == pytest.approx(-3.0)
+
+    def test_scalar_multiplication(self):
+        p = LogProb.from_float(1e-10) * 50
+        assert p.log10 == pytest.approx(math.log10(5e-9))
+
+    def test_scalar_zero(self):
+        assert (LogProb.from_float(0.5) * 0) is ZERO
+
+    def test_negative_scalar_rejected(self):
+        with pytest.raises(ValueError):
+            LogProb.from_float(0.5) * -2
+
+    def test_ordering(self):
+        assert LogProb.from_float(1e-10) < LogProb.from_float(1e-5)
+        assert ZERO < LogProb.from_float(1e-300)
+        assert LogProb.from_float(0.5) > 0.1
+
+    def test_equality_with_floats(self):
+        assert LogProb.from_float(0.5) == 0.5
+        assert ZERO == 0.0
+
+
+class TestRendering:
+    def test_paper_style_tiny(self):
+        assert str(LogProb(-1019.2366)) == "5.8e-1020"
+
+    def test_zero(self):
+        assert str(ZERO) == "0"
+
+    def test_moderate_values(self):
+        assert str(LogProb.from_float(0.53)) == "0.53"
+
+    def test_mantissa_rounding_carry(self):
+        # 9.97e-7 must not render as 10.0e-7.
+        assert str(LogProb.from_float(9.97e-7)) == "1.0e-6"
+
+    def test_value_roundtrip(self):
+        assert LogProb.from_float(0.25).value == pytest.approx(0.25)
+
+    def test_one(self):
+        assert ONE.value == 1.0

@@ -1,0 +1,81 @@
+"""Unit tests for membership-event replay."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.overlay.replay import ReplayableView, ViewEvent, converged
+
+
+class TestViewEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ViewEvent("promote", 1, 0)
+        with pytest.raises(ValueError):
+            ViewEvent("add", 1, -1)
+
+    def test_dedup_token(self):
+        assert ViewEvent("add", 1, 0).dedup_token() == ("add", 1, 0)
+
+
+class TestReplay:
+    def test_add_then_remove(self):
+        replica = ReplayableView(2)
+        assert replica.apply(ViewEvent("add", 5, 0))
+        assert 5 in replica.view
+        assert replica.apply(ViewEvent("remove", 5, 1))
+        assert 5 not in replica.view
+
+    def test_duplicate_event_is_noop(self):
+        replica = ReplayableView(2)
+        event = ViewEvent("add", 5, 0)
+        assert replica.apply(event)
+        assert not replica.apply(event)
+        assert len(replica.view) == 1
+
+    def test_stale_event_dropped(self):
+        replica = ReplayableView(2)
+        replica.apply(ViewEvent("add", 5, 0))
+        replica.apply(ViewEvent("remove", 5, 3))
+        # A late-arriving older add must not resurrect the node.
+        assert not replica.apply(ViewEvent("add", 5, 1))
+        assert 5 not in replica.view
+
+    def test_remove_of_unknown_is_noop(self):
+        replica = ReplayableView(2)
+        assert not replica.apply(ViewEvent("remove", 9, 0))
+
+    def test_key_carried_by_add(self):
+        key = KeyPair.generate("sim", seed=1).public
+        replica = ReplayableView(2)
+        replica.apply(ViewEvent("add", 5, 0, id_key=key))
+        assert replica.view.id_key(5) is key
+
+    def test_apply_all_counts_changes(self):
+        replica = ReplayableView(2)
+        events = [ViewEvent("add", 1, 0), ViewEvent("add", 1, 0), ViewEvent("add", 2, 0)]
+        assert replica.apply_all(events) == 2
+
+
+class TestDigest:
+    def test_digest_order_insensitive(self):
+        a = ReplayableView(2)
+        b = ReplayableView(2)
+        a.apply_all([ViewEvent("add", 1, 0), ViewEvent("add", 2, 0)])
+        b.apply_all([ViewEvent("add", 2, 0), ViewEvent("add", 1, 0)])
+        assert a.state_digest() == b.state_digest()
+
+    def test_digest_sensitive_to_membership(self):
+        a = ReplayableView(2)
+        b = ReplayableView(2)
+        a.apply(ViewEvent("add", 1, 0))
+        b.apply(ViewEvent("add", 2, 0))
+        assert a.state_digest() != b.state_digest()
+
+    def test_converged_on_empty_set(self):
+        assert converged([])
+
+    def test_converged_detects_divergence(self):
+        a = ReplayableView(2)
+        b = ReplayableView(2)
+        a.apply(ViewEvent("add", 1, 0))
+        assert not converged([a, b])

@@ -1,0 +1,46 @@
+"""Unit tests for the report generator and its CLI command."""
+
+import pathlib
+
+from repro.cli import main
+from repro.experiments.report import full_report, write_report
+
+
+class TestFullReport:
+    def test_contains_every_artifact(self):
+        text = full_report()
+        for marker in (
+            "reproduction report",
+            "In-text numeric claims",
+            "Figure 1",
+            "Figure 3",
+            "Table I",
+            "Message copies per anonymous communication",
+            "Nash deviation analysis",
+            "Ablation: relays L",
+        ):
+            assert marker in text, marker
+
+    def test_headline_reports_all_claims(self):
+        assert "10/10 in-text numeric claims reproduce" in full_report(include_ablations=False)
+
+    def test_ablations_can_be_skipped(self):
+        text = full_report(include_ablations=False)
+        assert "Ablation: relays L" not in text
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "report.txt"
+        text = write_report(str(path))
+        assert path.read_text().strip() == text.strip()
+
+
+class TestReportCli:
+    def test_report_command(self, capsys):
+        assert main(["report", "--no-ablations"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        out = tmp_path / "r.txt"
+        assert main(["report", "--no-ablations", "--output", str(out)]) == 0
+        assert out.exists()
+        assert "Figure 3" in out.read_text()

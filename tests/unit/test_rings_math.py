@@ -1,0 +1,94 @@
+"""Unit tests for ring-count mathematics."""
+
+import pytest
+
+from repro.analysis import rings_math
+
+
+class TestBinomial:
+    def test_pmf_sums_to_one(self):
+        total = sum(rings_math.binomial_pmf(7, k, 0.3) for k in range(8))
+        assert total == pytest.approx(1.0)
+
+    def test_out_of_range_is_zero(self):
+        assert rings_math.binomial_pmf(7, 8, 0.3) == 0.0
+        assert rings_math.binomial_pmf(7, -1, 0.3) == 0.0
+
+
+class TestOpponentSuccessors:
+    def test_at_least_plus_at_most_cover(self):
+        upper = rings_math.opponent_successors_at_least(7, 0.1, 3)
+        lower = rings_math.opponent_successors_at_most(7, 0.1, 2)
+        assert upper.value + lower.value == pytest.approx(1.0)
+
+    def test_paper_claim_majority_6e6(self):
+        p = rings_math.majority_opponent_successors(7, 0.05)
+        assert p.value == pytest.approx(5.9e-6, rel=0.05)
+
+    def test_paper_claim_at_most_3_of_7(self):
+        p = rings_math.opponent_successors_at_most(7, 0.10, 3)
+        assert p.value == pytest.approx(0.9973, abs=0.0005)
+
+    def test_supermajority_threshold(self):
+        assert rings_math.supermajority_threshold(7) == 5
+        assert rings_math.supermajority_threshold(8) == 6
+
+    def test_explicit_threshold_override(self):
+        default = rings_math.majority_opponent_successors(7, 0.05)
+        strict = rings_math.majority_opponent_successors(7, 0.05, threshold=7)
+        assert strict < default
+
+    def test_more_rings_reduce_majority_risk(self):
+        risky = rings_math.majority_opponent_successors(3, 0.1)
+        safer = rings_math.majority_opponent_successors(9, 0.1)
+        assert safer < risky
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            rings_math.opponent_successors_at_least(0, 0.1, 1)
+        with pytest.raises(ValueError):
+            rings_math.opponent_successors_at_most(7, 1.5, 1)
+
+
+class TestRingSizing:
+    def test_correct_successors_needed_grows_with_n(self):
+        assert rings_math.correct_successors_needed(100_000) > rings_math.correct_successors_needed(100)
+
+    def test_footnote5_form(self):
+        # log(1000) ~ 6.9 -> 7 + c
+        assert rings_math.correct_successors_needed(1000, c=2) == 9
+
+    def test_rings_for_reliability_meets_target(self):
+        R = rings_math.rings_for_reliability(1000, f=0.1, c=0, confidence=0.999)
+        needed = rings_math.correct_successors_needed(1000, c=0)
+        p_ok = sum(
+            rings_math.binomial_pmf(R, j, 0.9) for j in range(needed, R + 1)
+        )
+        assert p_ok >= 0.999
+
+    def test_more_opponents_need_more_rings(self):
+        low = rings_math.rings_for_reliability(1000, f=0.05)
+        high = rings_math.rings_for_reliability(1000, f=0.3)
+        assert high > low
+
+    def test_tiny_system_rejected(self):
+        with pytest.raises(ValueError):
+            rings_math.correct_successors_needed(1)
+
+
+class TestHypergeometric:
+    def test_matches_binomial_for_large_group(self):
+        hyper = rings_math.hypergeometric_at_most(10_000, 1000, 7, 3)
+        binom = rings_math.opponent_successors_at_most(7, 0.1, 3)
+        assert hyper.value == pytest.approx(binom.value, rel=0.01)
+
+    def test_exhaustive_draw(self):
+        # Drawing the whole group: opponent count is exact.
+        p = rings_math.hypergeometric_at_most(10, 4, 10, 4)
+        assert p.value == pytest.approx(1.0)
+        p2 = rings_math.hypergeometric_at_most(10, 4, 10, 3)
+        assert p2.value == pytest.approx(0.0)
+
+    def test_overdraw_rejected(self):
+        with pytest.raises(ValueError):
+            rings_math.hypergeometric_at_most(5, 2, 6, 1)

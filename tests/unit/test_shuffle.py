@@ -1,0 +1,113 @@
+"""Unit tests for the Dissent v1 accountable shuffle."""
+
+import random
+
+import pytest
+
+from repro.crypto.shuffle import DishonestParticipant, ShuffleParticipant, run_shuffle
+
+
+def make_participants(n, seed=0):
+    return [ShuffleParticipant(i, rng=random.Random(seed * 100 + i)) for i in range(n)]
+
+
+def fixed_messages(n, length=32):
+    return [bytes([65 + i]) * length for i in range(n)]
+
+
+class TestHonestRuns:
+    def test_outputs_are_a_permutation_of_inputs(self):
+        messages = fixed_messages(5)
+        result = run_shuffle(make_participants(5), messages)
+        assert result.success
+        assert sorted(result.messages) == sorted(messages)
+
+    def test_no_blame_on_success(self):
+        result = run_shuffle(make_participants(4), fixed_messages(4))
+        assert result.blamed == []
+
+    def test_single_member(self):
+        result = run_shuffle(make_participants(1), fixed_messages(1))
+        assert result.success
+        assert result.messages == fixed_messages(1)
+
+    def test_two_members(self):
+        result = run_shuffle(make_participants(2), fixed_messages(2))
+        assert result.success
+
+    def test_message_count_accounting(self):
+        n = 4
+        result = run_shuffle(make_participants(n), fixed_messages(n))
+        # n submissions + n batches of n items + n inner-key reveals
+        assert result.messages_sent == n + n * n + n
+
+    def test_shuffles_are_actually_permuted_sometimes(self):
+        # Over several runs, at least one must reorder the batch
+        # (probability of all-identity across 5 runs of 6! orders ~ 0).
+        messages = fixed_messages(6)
+        reordered = False
+        for seed in range(5):
+            result = run_shuffle(make_participants(6, seed=seed), messages)
+            assert result.success
+            if result.messages != messages:
+                reordered = True
+        assert reordered
+
+
+class TestValidation:
+    def test_wrong_message_count_rejected(self):
+        with pytest.raises(ValueError):
+            run_shuffle(make_participants(3), fixed_messages(2))
+
+    def test_variable_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            run_shuffle(make_participants(2), [b"short", b"much longer message"])
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            run_shuffle([], [])
+
+
+class TestAccountability:
+    @pytest.mark.parametrize("mode", DishonestParticipant.MODES)
+    def test_every_misbehaviour_mode_is_blamed(self, mode):
+        n = 5
+        cheater_index = 2
+        participants = []
+        for i in range(n):
+            if i == cheater_index:
+                participants.append(
+                    DishonestParticipant(i, mode, rng=random.Random(77 + i))
+                )
+            else:
+                participants.append(ShuffleParticipant(i, rng=random.Random(77 + i)))
+        result = run_shuffle(participants, fixed_messages(n))
+        assert not result.success
+        assert result.messages is None
+        assert result.blamed == [cheater_index]
+
+    @pytest.mark.parametrize("cheater_index", [0, 3])
+    def test_blame_finds_cheater_at_any_position(self, cheater_index):
+        n = 4
+        participants = [
+            DishonestParticipant(i, "corrupt", rng=random.Random(i))
+            if i == cheater_index
+            else ShuffleParticipant(i, rng=random.Random(i))
+            for i in range(n)
+        ]
+        result = run_shuffle(participants, fixed_messages(n))
+        assert not result.success
+        assert result.blamed == [cheater_index]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            DishonestParticipant(0, "teleport")
+
+    def test_failed_run_reveals_no_messages(self):
+        participants = [
+            DishonestParticipant(0, "drop", rng=random.Random(0)),
+            ShuffleParticipant(1, rng=random.Random(1)),
+            ShuffleParticipant(2, rng=random.Random(2)),
+        ]
+        result = run_shuffle(participants, fixed_messages(3))
+        assert result.messages is None

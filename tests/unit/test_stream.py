@@ -1,0 +1,78 @@
+"""Unit tests for repro.crypto.stream (SHA256-CTR + HMAC)."""
+
+import pytest
+
+from repro.crypto import stream
+
+
+KEY = b"k" * 32
+NONCE = b"n" * 16
+
+
+class TestKeystreamXor:
+    def test_is_its_own_inverse(self):
+        data = b"some plaintext longer than one block to span counters" * 3
+        once = stream.keystream_xor(KEY, NONCE, data)
+        assert stream.keystream_xor(KEY, NONCE, once) == data
+
+    def test_changes_the_data(self):
+        assert stream.keystream_xor(KEY, NONCE, b"hello") != b"hello"
+
+    def test_nonce_sensitivity(self):
+        a = stream.keystream_xor(KEY, b"a" * 16, b"hello")
+        b = stream.keystream_xor(KEY, b"b" * 16, b"hello")
+        assert a != b
+
+    def test_empty_data(self):
+        assert stream.keystream_xor(KEY, NONCE, b"") == b""
+
+
+class TestMac:
+    def test_verify_accepts_valid(self):
+        tag = stream.mac(KEY, b"data")
+        assert stream.verify_mac(KEY, b"data", tag)
+
+    def test_verify_rejects_tampered_data(self):
+        tag = stream.mac(KEY, b"data")
+        assert not stream.verify_mac(KEY, b"date", tag)
+
+    def test_verify_rejects_wrong_key(self):
+        tag = stream.mac(KEY, b"data")
+        assert not stream.verify_mac(b"x" * 32, b"data", tag)
+
+    def test_tag_length(self):
+        assert len(stream.mac(KEY, b"data")) == stream.MAC_LEN
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self):
+        blob = stream.encrypt(KEY, NONCE, b"secret payload")
+        assert stream.decrypt(KEY, NONCE, blob) == b"secret payload"
+
+    def test_ciphertext_not_plaintext(self):
+        blob = stream.encrypt(KEY, NONCE, b"secret payload")
+        assert b"secret payload" not in blob
+
+    def test_wrong_key_raises(self):
+        blob = stream.encrypt(KEY, NONCE, b"secret")
+        with pytest.raises(stream.AuthenticationError):
+            stream.decrypt(b"y" * 32, NONCE, blob)
+
+    def test_wrong_nonce_raises(self):
+        blob = stream.encrypt(KEY, NONCE, b"secret")
+        with pytest.raises(stream.AuthenticationError):
+            stream.decrypt(KEY, b"m" * 16, blob)
+
+    def test_truncated_blob_raises(self):
+        with pytest.raises(stream.AuthenticationError):
+            stream.decrypt(KEY, NONCE, b"short")
+
+    def test_bitflip_raises(self):
+        blob = bytearray(stream.encrypt(KEY, NONCE, b"secret"))
+        blob[-1] ^= 1
+        with pytest.raises(stream.AuthenticationError):
+            stream.decrypt(KEY, NONCE, bytes(blob))
+
+    def test_empty_plaintext(self):
+        blob = stream.encrypt(KEY, NONCE, b"")
+        assert stream.decrypt(KEY, NONCE, blob) == b""

@@ -1,0 +1,112 @@
+"""Unit tests for the binary wire codecs."""
+
+import pytest
+
+from repro.core.messages import (
+    Accusation,
+    BlacklistShare,
+    Broadcast,
+    EvictionNotice,
+    JoinAnnounce,
+    JoinRequest,
+    ReadyMessage,
+    channel_domain,
+    group_domain,
+)
+from repro.core.wire import WireError, decode_message, encode_message, encoded_size
+from repro.crypto.keys import KeyPair
+
+BIG = (1 << 127) + 12345
+
+
+class TestRoundtrips:
+    def test_broadcast_group(self):
+        msg = Broadcast(group_domain(7), BIG, b"wire-bytes" * 100, 3)
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_broadcast_channel(self):
+        msg = Broadcast(channel_domain(9, 2), BIG, b"x", 0)
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_accusation_with_msg_id(self):
+        msg = Accusation(BIG, BIG - 1, group_domain(1), "missing-copy", 42)
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_accusation_without_msg_id(self):
+        msg = Accusation(1, 2, channel_domain(3, 4), "rate-high", None)
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_join_request_sim_key(self):
+        key = KeyPair.generate("sim", seed=1).public
+        msg = JoinRequest(BIG, key.key_id, 777, key)
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_join_request_dh_key(self):
+        key = KeyPair.generate("dh", seed=1).public
+        msg = JoinRequest(BIG, key.key_id, 777, key)
+        decoded = decode_message(encode_message(msg))
+        assert decoded.id_public_key.key_id == key.key_id
+        assert decoded.id_public_key.dh_value == key.dh_value
+        assert decoded.id_public_key.dh_group.prime == key.dh_group.prime
+
+    def test_join_announce(self):
+        key = KeyPair.generate("sim", seed=2).public
+        msg = JoinAnnounce(JoinRequest(1, key.key_id, 2, key), sponsor=BIG)
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_ready(self):
+        msg = ReadyMessage(BIG)
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_eviction_notice(self):
+        msg = EvictionNotice(BIG, 12, BIG - 5)
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_blacklist_share(self):
+        msg = BlacklistShare(5, (1, 2, BIG))
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_blacklist_share_empty(self):
+        msg = BlacklistShare(5, ())
+        assert decode_message(encode_message(msg)) == msg
+
+
+class TestSizes:
+    def test_broadcast_size_dominated_by_wire(self):
+        small = Broadcast(group_domain(1), 1, b"a", 0)
+        large = Broadcast(group_domain(1), 1, b"a" * 10_000, 0)
+        assert encoded_size(large) - encoded_size(small) == 9_999
+
+    def test_accusation_is_compact(self):
+        msg = Accusation(BIG, BIG, group_domain(1), "replay", None)
+        assert encoded_size(msg) < 128
+
+
+class TestMalformedFrames:
+    def test_empty_frame(self):
+        with pytest.raises(WireError):
+            decode_message(b"")
+
+    def test_unknown_tag(self):
+        with pytest.raises(WireError):
+            decode_message(bytes([99]))
+
+    def test_truncated_frame(self):
+        frame = encode_message(ReadyMessage(BIG))
+        with pytest.raises(WireError):
+            decode_message(frame[:-3])
+
+    def test_trailing_bytes_rejected(self):
+        frame = encode_message(ReadyMessage(BIG))
+        with pytest.raises(WireError):
+            decode_message(frame + b"\x00")
+
+    def test_announce_must_wrap_join(self):
+        inner = encode_message(ReadyMessage(1))
+        bad = bytes([4]) + len(inner).to_bytes(4, "big") + inner + (0).to_bytes(16, "big")
+        with pytest.raises(WireError):
+            decode_message(bad)
+
+    def test_oversized_id_rejected_on_encode(self):
+        with pytest.raises(WireError):
+            encode_message(ReadyMessage(1 << 129))
