@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report examples clean
+.PHONY: install test bench report examples ci clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -18,6 +18,10 @@ bench:
 
 report:
 	$(PYTHON) -m repro report --output results/full_report.txt
+
+ci:  # what .github/workflows/ci.yml runs
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+	$(PYTHON) experiments/fault_sweep.py --smoke
 
 examples:
 	for ex in examples/*.py; do echo "=== $$ex ==="; $(PYTHON) $$ex || exit 1; done

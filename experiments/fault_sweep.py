@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Sweep link-loss rates against goodput and false-eviction rate.
+
+The paper assumes TCP on a lossless network (§IV-C footnote 6), so its
+misbehaviour detection may read *any* missing message as freeriding.
+This experiment measures what the reproduction earns on lossy links:
+for each loss rate, a 16-node system with two injected freeriders and
+one mid-run link outage must
+
+* keep evicting the freeriders (accountability),
+* evict zero honest live nodes (no loss/freeride confusion),
+* sustain end-to-end goodput while the ARQ retransmits around loss.
+
+Run ``python experiments/fault_sweep.py`` for the full sweep (results
+land in ``results/fault_sweep.txt``), or ``--smoke`` for the single
+mid-loss configuration CI uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.config import RacConfig  # noqa: E402
+from repro.core.system import RacSystem  # noqa: E402
+from repro.experiments.runner import Table, format_rate  # noqa: E402
+from repro.freeride.strategies import ForwardDropper, SilentRelay  # noqa: E402
+
+LOSS_RATES = (0.0, 0.02, 0.05, 0.10)
+NUM_NODES = 16
+OUTAGE_DURATION = 0.4
+
+
+def sweep_config(loss_rate: float) -> RacConfig:
+    """The lossy-acceptance configuration (see
+    tests/integration/test_lossy_network.py): detection timers opened
+    up to leave the ARQ its retransmission budget, backoff capped so
+    post-outage probes return within one rto_max."""
+    return RacConfig(
+        num_relays=2,
+        num_rings=3,
+        group_min=2,
+        group_max=10**9,
+        message_size=2048,
+        send_interval=0.05,
+        relay_timeout=2.0,
+        predecessor_timeout=1.2,
+        rate_window=2.0,
+        blacklist_period=1.5,
+        puzzle_bits=2,
+        link_loss_rate=loss_rate,
+        transport_rto_max=0.25,
+    )
+
+
+def run_once(loss_rate: float, seed: int, duration: float) -> dict:
+    system = RacSystem(sweep_config(loss_rate), seed=seed)
+    nodes = system.bootstrap(
+        NUM_NODES, behaviors={3: ForwardDropper(1.0), 9: SilentRelay()}
+    )
+    freeriders = {nodes[3], nodes[9]}
+    honest = [n for n in nodes if n not in freeriders]
+    system.run(1.0)
+    system.inject_link_outage(honest[2], duration=OUTAGE_DURATION)
+
+    sent = 0
+    delivered_before = sum(len(system.delivered_messages(n)) for n in honest)
+    payload = b"x" * 64
+    start = system.now
+    step = 0
+    while system.now < start + duration:
+        live = [n for n in honest if n not in system.evicted]
+        for i, src in enumerate(live):
+            if system.send(src, live[(i + 1) % len(live)], payload):
+                sent += 1
+        system.run(0.6)
+        step += 1
+    system.run(4.0)  # drain in-flight traffic and pending verdicts
+
+    delivered = (
+        sum(len(system.delivered_messages(n)) for n in honest) - delivered_before
+    )
+    elapsed = system.now - start
+    report = system.stats_report()
+    false_evicted = [n for n in system.evicted if n in honest]
+    return {
+        "loss_rate": loss_rate,
+        "sent": sent,
+        "delivered": delivered,
+        "goodput_bps": delivered * len(payload) * 8 / elapsed,
+        "delivery_ratio": delivered / sent if sent else 0.0,
+        "freeriders_evicted": sum(1 for n in freeriders if n in system.evicted),
+        "false_evictions": len(false_evicted),
+        "false_eviction_rate": len(false_evicted) / len(honest),
+        "retransmits": report["transport_retransmits"],
+        "packets_dropped": report["net_packets_dropped"],
+    }
+
+
+def render(results: "list[dict]") -> str:
+    table = Table(
+        headers=[
+            "loss",
+            "sent",
+            "delivered",
+            "ratio",
+            "goodput",
+            "retransmits",
+            "drops",
+            "freeriders evicted",
+            "false evictions",
+        ],
+        title=(
+            f"Fault sweep: {NUM_NODES} nodes, 2 freeriders, "
+            f"one {OUTAGE_DURATION}s outage"
+        ),
+    )
+    for r in results:
+        table.add_row(
+            f"{r['loss_rate']:.0%}",
+            r["sent"],
+            r["delivered"],
+            f"{r['delivery_ratio']:.3f}",
+            format_rate(r["goodput_bps"]),
+            r["retransmits"],
+            r["packets_dropped"],
+            f"{r['freeriders_evicted']}/2",
+            f"{r['false_evictions']} ({r['false_eviction_rate']:.1%})",
+        )
+    return table.render()
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="one config, short run (CI)")
+    parser.add_argument("--seed", type=int, default=21)
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "results" / "fault_sweep.txt"
+    )
+    args = parser.parse_args(argv)
+
+    rates = (0.05,) if args.smoke else LOSS_RATES
+    duration = 8.0 if args.smoke else 25.0
+    results = []
+    for rate in rates:
+        result = run_once(rate, seed=args.seed, duration=duration)
+        results.append(result)
+        print(
+            f"loss={rate:.0%}: ratio={result['delivery_ratio']:.3f} "
+            f"freeriders={result['freeriders_evicted']}/2 "
+            f"false={result['false_evictions']}",
+            flush=True,
+        )
+
+    text = render(results)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(text + "\n")
+    print()
+    print(text)
+    print(f"\nwrote {args.out}")
+
+    failures = [r for r in results if r["false_evictions"]]
+    if failures:
+        print("FAIL: honest nodes were evicted", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

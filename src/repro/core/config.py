@@ -93,6 +93,24 @@ class RacConfig:
     #: seconds. 0 reproduces the paper's ideal network; robustness
     #: tests raise it to check the timers tolerate variance.
     propagation_jitter: float = 0.0
+    #: Per-link, per-packet Bernoulli drop probability. 0 reproduces
+    #: the paper's lossless router (footnote 6 then holds trivially);
+    #: anything above it makes the ARQ transport earn reliability.
+    #: Scheduled outages/partitions are injected at runtime through
+    #: :meth:`repro.core.system.RacSystem.inject_link_outage` and
+    #: friends.
+    link_loss_rate: float = 0.0
+
+    # -- ARQ transport (the "TCP" of paper footnote 6) -------------------------
+    #: Retransmission timeout before any RTT sample exists.
+    transport_rto_initial: float = 0.05
+    #: Clamp of the Jacobson RTO estimate (srtt + 4 * rttvar).
+    transport_rto_min: float = 0.01
+    transport_rto_max: float = 2.0
+    #: Retransmissions per segment before the transport declares the
+    #: peer unreachable (delivery-failure callback, never a silent
+    #: wedge).
+    transport_max_retries: int = 8
 
     # -- bookkeeping ------------------------------------------------------------
     #: Whether nodes keep full traces (protocol walkthroughs, tests).
@@ -116,6 +134,12 @@ class RacConfig:
             raise ValueError("the assumed opponent fraction must be in [0, 0.5)")
         if self.key_backend not in ("sim", "dh"):
             raise ValueError(f"unknown key backend {self.key_backend!r}")
+        if not 0 <= self.link_loss_rate < 1:
+            raise ValueError("link loss rate must be in [0, 1)")
+        if not 0 < self.transport_rto_min <= self.transport_rto_initial <= self.transport_rto_max:
+            raise ValueError("need 0 < transport_rto_min <= transport_rto_initial <= transport_rto_max")
+        if self.transport_max_retries < 1:
+            raise ValueError("the ARQ needs at least one retransmission attempt")
 
     @classmethod
     def paper(cls) -> "RacConfig":

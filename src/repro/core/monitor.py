@@ -16,6 +16,17 @@ All three classes are deliberately free of simulator state: time flows
 in as explicit arguments, verdicts flow out as plain data, and the node
 wires them to timers and accusation broadcasts. That keeps every rule
 unit-testable without a network.
+
+**Fault model.** The paper assumes TCP on a lossless network (footnote
+6), so every check treats absence as misbehaviour. On a lossy network
+(:mod:`repro.simnet.faults`) the ARQ transport masks loss by
+retransmitting, which *delays* deliveries by up to a few RTOs — the
+timeouts handed to these monitors must therefore exceed the transport's
+retransmission recovery budget (enforced at bootstrap by
+``RacSystem._validate_timers``). An outage longer than
+``predecessor_timeout`` remains indistinguishable from freeriding: that
+is the protocol's documented accountability/availability trade-off, not
+a bug (see DESIGN.md "Fault model").
 """
 
 from __future__ import annotations
@@ -128,6 +139,15 @@ class PredecessorMonitor:
     each message: a node that joins the rings afterwards never owed us a
     copy (the paper's 2T join quarantine serves the same purpose), and a
     node evicted meanwhile is pruned via :meth:`forget_node`.
+
+    The caller applies two topology-race excusals around that frozen
+    set (DESIGN.md §8): a freshly-established ring edge gets one
+    timeout of grace before it is ever *added* to an expected set
+    (messages can be in flight across the re-stitch, in which case the
+    new predecessor forwarded them to its old successor), and a missing
+    pair is only *accused* if the edge still exists at verdict time
+    (otherwise the copy was legitimately routed to the predecessor's
+    new successor).
     """
 
     def __init__(self, timeout: float) -> None:

@@ -79,6 +79,10 @@ class RacNode:
         # Data-plane state, one entry per domain this node broadcasts in.
         self._states: Dict[DomainId, BroadcastState] = {}
         self._pred_monitors: Dict[DomainId, PredecessorMonitor] = {}
+        #: domain -> ring -> (predecessor, first seen on that edge). New
+        #: edges get a grace period before check 2 applies (see
+        #: _arm_predecessor_check).
+        self._ring_edges: Dict[DomainId, Dict[int, Tuple[int, float]]] = {}
 
         # Misbehaviour checking.
         self.relay_monitor = RelayMonitor()
@@ -323,11 +327,30 @@ class RacNode:
         view = self.env.domain_view(domain)
         if view is None or self.node_id not in view:
             return
+        # A ring edge that just appeared (a join, or an eviction
+        # re-stitching the ring) gets one predecessor_timeout of grace
+        # before check 2 applies: a message can be in flight across a
+        # topology change, in which case the new predecessor forwarded
+        # it to its *old* successor and never owed us a copy. This is
+        # the paper's join quarantine generalised to every edge change,
+        # and mirrors the rate monitor's "not observed long enough to
+        # judge" warm-up. On a lossy network the in-flight window
+        # stretches to several RTOs, making the race routine rather
+        # than rare.
+        now = self.env.now
+        edges = self._ring_edges.setdefault(domain, {})
         expected: Set[CopyKey] = set()
         for ring_index in range(view.num_rings):
             predecessor = view.topology.predecessor(self.node_id, ring_index)
-            if predecessor is not None:
-                expected.add((predecessor, ring_index))
+            if predecessor is None:
+                continue
+            known = edges.get(ring_index)
+            if known is None or known[0] != predecessor:
+                edges[ring_index] = (predecessor, now)
+                continue  # fresh edge: grace starts now
+            if now - known[1] < self.config.predecessor_timeout:
+                continue  # edge still inside its grace period
+            expected.add((predecessor, ring_index))
         monitor = self.pred_monitor_for(domain)
         monitor.on_first_seen(msg_id, self.env.now, expected)
         self.env.schedule(
@@ -488,8 +511,20 @@ class RacNode:
             return
         state = self.state_for(domain)
         monitor = self.pred_monitor_for(domain)
+        view = self.env.domain_view(domain)
         for msg_id, expected in monitor.due(self.env.now):
-            for pred, _ring in PredecessorMonitor.missing(state, msg_id, expected):
+            for pred, ring in PredecessorMonitor.missing(state, msg_id, expected):
+                # Only accuse an edge that still exists: if the ring was
+                # re-stitched mid-window (join or eviction), the frozen
+                # predecessor legitimately forwarded the in-flight copy
+                # to its *new* successor instead of us.
+                if (
+                    view is None
+                    or self.node_id not in view
+                    or view.topology.predecessor(self.node_id, ring) != pred
+                ):
+                    self._count("missing_copy_excused_topology")
+                    continue
                 self._accuse(pred, domain, "missing-copy", msg_id)
 
     def _accuse(self, accused: int, domain: DomainId, reason: str, msg_id: "Optional[int]") -> None:

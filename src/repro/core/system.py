@@ -35,6 +35,7 @@ from ..groups.manager import GroupDirectory
 from ..groups.assignment import solve_puzzle, verify_puzzle
 from ..overlay.membership import MembershipView
 from ..simnet.engine import Simulator
+from ..simnet.faults import FaultInjector
 from ..simnet.network import StarNetwork
 from ..simnet.stats import LatencyMeter, StatsRegistry, ThroughputMeter
 from ..simnet.trace import Tracer
@@ -54,18 +55,30 @@ class RacSystem:
         self.config = config if config is not None else RacConfig()
         self.rng = random.Random(seed)
         self.sim = Simulator()
+        self.stats = StatsRegistry()
+        self.faults = FaultInjector(
+            self.sim, seed=seed ^ 0x5EED, loss_rate=self.config.link_loss_rate
+        )
         self.network = StarNetwork(
             self.sim,
             self.config.link_bandwidth_bps,
             propagation_jitter=self.config.propagation_jitter,
             jitter_seed=seed,
+            faults=self.faults,
         )
-        self.transport = ReliableTransport(self.network)
+        self.transport = ReliableTransport(
+            self.network,
+            rto_initial=self.config.transport_rto_initial,
+            rto_min=self.config.transport_rto_min,
+            rto_max=self.config.transport_rto_max,
+            max_retries=self.config.transport_max_retries,
+            stats=self.stats,
+            on_failure=self._on_transport_failure,
+        )
         self.directory = GroupDirectory(
             self.config.num_rings, smin=self.config.group_min, smax=self.config.group_max
         )
         self.channels = ChannelDirectory(self.directory)
-        self.stats = StatsRegistry()
         self.tracer = Tracer(self.config.trace)
         self.nodes: Dict[int, RacNode] = {}
         self.pseudonym_keys: Dict[int, PublicKey] = {}
@@ -172,6 +185,65 @@ class RacSystem:
         self.stats.add("evictions")
         self.tracer.record(self.now, "evicted", node=accused, by=reporter, evidence=kind)
 
+    def _on_transport_failure(self, src: int, dst: int, payload) -> None:
+        """The ARQ gave up on a segment: the peer is unreachable.
+
+        Deliberately *not* an accusation: retry exhaustion points at a
+        dead host or a partitioned link, and the misbehaviour checks
+        (which have their own, longer timers) are the only judges of
+        freeriding. We record the event so experiments can count how
+        often the network — not the protocol — lost a message.
+        """
+        self.tracer.record(self.now, "transport-failure", src=src, dst=dst)
+
+    # ======================================================================
+    # fault injection (the departure from the paper's ideal network)
+    # ======================================================================
+    def set_loss_rate(
+        self, rate: float, node_id: "Optional[int]" = None, direction: "Optional[str]" = None
+    ) -> None:
+        """Change the Bernoulli packet-loss rate at runtime.
+
+        ``node_id=None`` sets the default for every link; otherwise
+        only that node's ``direction`` ("up", "down" or both).
+        """
+        self.faults.set_loss_rate(rate, node_id=node_id, direction=direction)
+
+    def inject_link_outage(
+        self, node_id: int, duration: float, at: "float | None" = None, direction: str = "both"
+    ) -> None:
+        """Black-hole a node's link(s) for ``duration`` seconds from
+        ``at`` (default: now)."""
+        start = self.now if at is None else at
+        self.faults.schedule_outage(node_id, start, duration, direction=direction)
+
+    def inject_partition(
+        self, side_a, side_b, duration: float, at: "float | None" = None
+    ) -> None:
+        """Split the network into two halves for ``duration`` seconds."""
+        start = self.now if at is None else at
+        self.faults.schedule_partition(side_a, side_b, start, duration)
+
+    def degrade_bandwidth(
+        self, node_id: int, factor: float, duration: float, at: "float | None" = None,
+        direction: str = "both",
+    ) -> None:
+        """Scale a node's link rate by ``factor`` for ``duration`` seconds."""
+        start = self.now if at is None else at
+        self.faults.schedule_degradation(node_id, start, duration, factor, direction=direction)
+
+    def stats_report(self) -> "Dict[str, int]":
+        """Every protocol counter plus the network's delivery *and* drop
+        counters — loss must be visible, not silently absorbed."""
+        report = dict(self.stats.as_dict())
+        report["net_packets_delivered"] = self.network.packets_delivered
+        report["net_bytes_delivered"] = self.network.bytes_delivered
+        report["net_packets_dropped"] = self.network.packets_dropped
+        report["net_bytes_dropped"] = self.network.bytes_dropped
+        for reason, count in sorted(self.network.drops_by_reason.items()):
+            report[f"net_dropped_{reason}"] = count
+        return report
+
     # ======================================================================
     # public API
     # ======================================================================
@@ -215,6 +287,18 @@ class RacSystem:
                 f"two origination intervals ({2 * interval:.4g}s); ring copies "
                 "could not arrive in time"
             )
+        if self.config.link_loss_rate > 0:
+            # A lost copy reappears one RTO later; back-to-back losses
+            # cost a doubled RTO on top. The misbehaviour timers must
+            # leave the ARQ that recovery budget, or plain packet loss
+            # masquerades as freeriding (see DESIGN.md "Fault model").
+            recovery = 4 * self.config.transport_rto_initial
+            if self.config.predecessor_timeout < recovery:
+                raise ValueError(
+                    f"predecessor_timeout={self.config.predecessor_timeout}s leaves no "
+                    f"retransmission budget on a lossy network; need at least "
+                    f"4 * transport_rto_initial = {recovery:.4g}s"
+                )
 
     def join(self, behavior=None) -> int:
         """One node joins a running system via the Section IV-C handshake.

@@ -3,27 +3,36 @@
 * :mod:`repro.simnet.engine` — calendar-queue event scheduler;
 * :mod:`repro.simnet.network` — star topology with serializing 1 Gb/s
   up/downlinks and an ideal router (the paper's Section VI-A setting);
-* :mod:`repro.simnet.transport` — TCP-like reliable FIFO per-pair
-  delivery (paper footnote 6);
+* :mod:`repro.simnet.faults` — seeded packet loss, outages, partitions
+  and bandwidth degradation layered onto the star network;
+* :mod:`repro.simnet.transport` — ARQ transport (per-segment ACKs,
+  retransmission with backoff, Jacobson RTO) providing the TCP-like
+  reliable FIFO per-pair delivery of paper footnote 6 on lossy links;
 * :mod:`repro.simnet.stats` — throughput meters and counters;
 * :mod:`repro.simnet.trace` — structured protocol event tracing.
 """
 
 from .engine import ScheduledEvent, SimulationError, Simulator
+from .faults import DIRECTIONS, FaultInjector, Outage, Partition
 from .network import DEFAULT_PROPAGATION_DELAY, GBPS, Link, Packet, StarNetwork
 from .stats import Counter, LatencyMeter, StatsRegistry, ThroughputMeter, summarize
 from .trace import TraceEvent, Tracer
-from .transport import ReliableTransport, Segment
+from .transport import Ack, ReliableTransport, Segment
 
 __all__ = [
     "ScheduledEvent",
     "SimulationError",
     "Simulator",
+    "DIRECTIONS",
+    "FaultInjector",
+    "Outage",
+    "Partition",
     "DEFAULT_PROPAGATION_DELAY",
     "GBPS",
     "Link",
     "Packet",
     "StarNetwork",
+    "Ack",
     "Counter",
     "LatencyMeter",
     "StatsRegistry",

@@ -1,0 +1,203 @@
+"""Deterministic fault injection for the star network.
+
+The paper evaluates every protocol on an ideal network (Section VI-A)
+and leans on TCP for reliability (footnote 6), so a missing message is
+always evidence of freeriding. Real deployments see packet loss, link
+outages and congested links; an accountability protocol evaluated only
+on lossless links has never had to distinguish *failure* from
+*misbehaviour*. This module supplies the adversarial network layer:
+
+* **random loss** — per-link (node, direction) Bernoulli packet drops;
+* **outages** — scheduled windows during which a node's uplink,
+  downlink or both black-hole every packet;
+* **partitions** — scheduled windows during which two node sets cannot
+  exchange packets in either direction;
+* **bandwidth degradation** — scheduled windows during which a link
+  serializes at a fraction of its nominal rate.
+
+Everything is driven by one seeded RNG and evaluated in simulation
+event order, so two runs with the same seed replay *exactly* the same
+drops. A zero-loss injector never draws from the RNG, which keeps
+pre-existing lossless simulations byte-identical.
+
+:class:`repro.simnet.network.StarNetwork` consults
+:meth:`FaultInjector.drop_reason` once per packet at the router and
+counts the verdicts (``packets_dropped`` / ``bytes_dropped``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+__all__ = ["FaultInjector", "Outage", "Partition", "DIRECTIONS"]
+
+#: Valid link directions: "up" is node → router, "down" is router → node.
+DIRECTIONS = ("up", "down")
+
+
+def _check_direction(direction: str) -> Tuple[str, ...]:
+    if direction == "both":
+        return DIRECTIONS
+    if direction not in DIRECTIONS:
+        raise ValueError(f"direction must be 'up', 'down' or 'both', not {direction!r}")
+    return (direction,)
+
+
+@dataclass(frozen=True)
+class Outage:
+    """A scheduled black-hole window on one node's link(s)."""
+
+    node_id: int
+    direction: str  # "up" | "down"
+    start: float
+    end: float
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A scheduled window during which two node sets cannot talk."""
+
+    side_a: FrozenSet[int]
+    side_b: FrozenSet[int]
+    start: float
+    end: float
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+    def separates(self, src: int, dst: int) -> bool:
+        return (src in self.side_a and dst in self.side_b) or (
+            src in self.side_b and dst in self.side_a
+        )
+
+
+class FaultInjector:
+    """A seeded, replayable fault plan for one simulation.
+
+    The injector is consulted by the network once per packet; it never
+    schedules its own drops, so determinism follows directly from the
+    engine's deterministic event order. Bandwidth degradation is the
+    one stateful fault: it is applied by scheduled events that scale a
+    live :class:`repro.simnet.network.Link`'s ``rate_factor``, which
+    requires :meth:`bind`-ing the injector to its network (done by
+    ``StarNetwork.__init__``).
+    """
+
+    def __init__(self, sim, seed: int = 0, loss_rate: float = 0.0) -> None:
+        self.sim = sim
+        self.rng = random.Random(seed)
+        self.default_loss_rate = 0.0
+        self._link_loss: Dict[Tuple[int, str], float] = {}
+        self.outages: List[Outage] = []
+        self.partitions: List[Partition] = []
+        self._network = None
+        if loss_rate:
+            self.set_loss_rate(loss_rate)
+
+    def bind(self, network) -> None:
+        """Attach to the network whose links degradations will scale."""
+        self._network = network
+
+    # -- random loss ---------------------------------------------------------
+    def set_loss_rate(
+        self, rate: float, node_id: "Optional[int]" = None, direction: "Optional[str]" = None
+    ) -> None:
+        """Set the per-packet drop probability of one link direction.
+
+        With ``node_id=None`` the rate becomes the default for every
+        link; otherwise it overrides the default for that node's
+        ``direction`` ("up", "down" or both when ``None``).
+        """
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        if node_id is None:
+            self.default_loss_rate = rate
+            return
+        for d in _check_direction(direction if direction is not None else "both"):
+            self._link_loss[(node_id, d)] = rate
+
+    def loss_rate(self, node_id: int, direction: str) -> float:
+        return self._link_loss.get((node_id, direction), self.default_loss_rate)
+
+    # -- scheduled faults -----------------------------------------------------
+    def schedule_outage(
+        self, node_id: int, at: float, duration: float, direction: str = "both"
+    ) -> None:
+        """Black-hole ``node_id``'s link(s) during ``[at, at+duration)``."""
+        if duration <= 0:
+            raise ValueError("outage duration must be positive")
+        for d in _check_direction(direction):
+            self.outages.append(Outage(node_id, d, at, at + duration))
+
+    def schedule_partition(
+        self, side_a: "Iterable[int]", side_b: "Iterable[int]", at: float, duration: float
+    ) -> None:
+        """Split the network into two halves during ``[at, at+duration)``."""
+        if duration <= 0:
+            raise ValueError("partition duration must be positive")
+        a, b = frozenset(side_a), frozenset(side_b)
+        if a & b:
+            raise ValueError(f"partition sides overlap: {sorted(a & b)}")
+        self.partitions.append(Partition(a, b, at, at + duration))
+
+    def schedule_degradation(
+        self, node_id: int, at: float, duration: float, factor: float, direction: str = "both"
+    ) -> None:
+        """Scale ``node_id``'s link rate by ``factor`` during the window.
+
+        Applied to the live links at the window edges; a node that
+        detaches and re-attaches mid-window comes back with fresh
+        full-rate links (a rebooted host gets a clean interface).
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("degradation factor must be in (0, 1]")
+        if duration <= 0:
+            raise ValueError("degradation duration must be positive")
+        if at < self.sim.now:
+            raise ValueError("cannot schedule a degradation in the past")
+        directions = _check_direction(direction)
+        self.sim.schedule_at(at, self._scale_links, node_id, directions, factor)
+        self.sim.schedule_at(at + duration, self._scale_links, node_id, directions, 1.0 / factor)
+
+    def _scale_links(self, node_id: int, directions: Tuple[str, ...], factor: float) -> None:
+        if self._network is None:
+            raise RuntimeError("bandwidth degradation requires a bound network")
+        for d in directions:
+            links = self._network.uplinks if d == "up" else self._network.downlinks
+            link = links.get(node_id)
+            if link is not None:
+                link.rate_factor *= factor
+
+    # -- the per-packet verdict -----------------------------------------------
+    def outage_active(self, node_id: int, direction: str, now: float) -> bool:
+        return any(
+            o.node_id == node_id and o.direction == direction and o.active(now)
+            for o in self.outages
+        )
+
+    def partitioned(self, src: int, dst: int, now: float) -> bool:
+        return any(p.active(now) and p.separates(src, dst) for p in self.partitions)
+
+    def drop_reason(self, src: int, dst: int) -> "Optional[str]":
+        """Decide one packet's fate; None means it survives.
+
+        Deterministic faults (outage, partition) are checked before the
+        random draw so they never consume RNG state — editing the fault
+        plan does not shift the loss pattern of unrelated packets.
+        """
+        now = self.sim.now
+        if self.outage_active(src, "up", now) or self.outage_active(dst, "down", now):
+            return "outage"
+        if self.partitioned(src, dst, now):
+            return "partition"
+        p_up = self.loss_rate(src, "up")
+        p_down = self.loss_rate(dst, "down")
+        p = 1.0 - (1.0 - p_up) * (1.0 - p_down)
+        if p > 0.0 and self.rng.random() < p:
+            return "loss"
+        return None

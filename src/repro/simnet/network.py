@@ -23,9 +23,10 @@ their declared wire size.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional
 
-from .engine import Simulator
+from .engine import SimulationError, Simulator
+from .faults import FaultInjector
 
 __all__ = ["Packet", "Link", "StarNetwork", "GBPS", "DEFAULT_PROPAGATION_DELAY"]
 
@@ -70,9 +71,13 @@ class Link:
         self.busy_until = 0.0
         self.bytes_carried = 0
         self.packets_carried = 0
+        #: Fault-injection hook: the effective rate is ``bandwidth_bps *
+        #: rate_factor``. 1.0 is a healthy link; degradation windows
+        #: (:class:`repro.simnet.faults.FaultInjector`) scale it down.
+        self.rate_factor = 1.0
 
     def transmission_time(self, size_bytes: int) -> float:
-        return size_bytes * 8 / self.bandwidth_bps
+        return size_bytes * 8 / (self.bandwidth_bps * self.rate_factor)
 
     def utilization(self) -> float:
         """Fraction of elapsed time this link spent transmitting."""
@@ -115,10 +120,14 @@ class StarNetwork:
         propagation_delay: float = DEFAULT_PROPAGATION_DELAY,
         propagation_jitter: float = 0.0,
         jitter_seed: int = 0,
+        faults: "Optional[FaultInjector]" = None,
     ) -> None:
         """``propagation_jitter`` adds a uniform [0, jitter] extra delay
         per packet — the step beyond the paper's ideal network that the
-        robustness tests use (timers must tolerate real variance)."""
+        robustness tests use (timers must tolerate real variance).
+        ``faults`` plugs in packet loss / outages / partitions / link
+        degradation (:class:`repro.simnet.faults.FaultInjector`); None
+        keeps the paper's lossless router."""
         import random as _random
 
         if propagation_jitter < 0:
@@ -128,11 +137,20 @@ class StarNetwork:
         self.propagation_delay = propagation_delay
         self.propagation_jitter = propagation_jitter
         self._jitter_rng = _random.Random(jitter_seed)
+        self.faults = faults
+        if faults is not None:
+            faults.bind(self)
         self.uplinks: Dict[int, Link] = {}
         self.downlinks: Dict[int, Link] = {}
         self._handlers: Dict[int, Callable[[Packet], None]] = {}
         self.packets_delivered = 0
         self.bytes_delivered = 0
+        self.packets_dropped = 0
+        self.bytes_dropped = 0
+        #: Drop counts keyed by cause: "loss", "outage", "partition",
+        #: "detached". Loss would otherwise be invisible to summaries —
+        #: only deliveries used to be counted.
+        self.drops_by_reason: Dict[str, int] = {}
 
     # -- membership ----------------------------------------------------------
     def attach(self, node_id: int, handler: Callable[[Packet], None]) -> None:
@@ -152,6 +170,13 @@ class StarNetwork:
     def attached(self, node_id: int) -> bool:
         return node_id in self._handlers
 
+    def uplink_queue_delay(self, node_id: int) -> float:
+        """Seconds of serialization backlog on the node's own uplink —
+        knowable locally (it is the node's NIC queue), and used by the
+        transport to avoid timing out packets it has not yet sent."""
+        link = self.uplinks.get(node_id)
+        return link.queue_delay() if link is not None else 0.0
+
     @property
     def node_ids(self) -> "list[int]":
         return list(self._handlers)
@@ -160,18 +185,35 @@ class StarNetwork:
     def send(self, src: int, dst: int, payload: Any, size_bytes: int) -> None:
         """Transmit a packet from ``src`` to ``dst``.
 
-        Raises ``KeyError`` if the source is not attached; silently
-        drops packets whose destination detaches before delivery (the
-        sender cannot know, exactly as with a real crashed peer).
+        Raises :class:`~repro.simnet.engine.SimulationError` if the
+        source is not attached (sending from a detached node is a
+        protocol-stack bug, not a network condition); silently drops —
+        but counts — packets whose destination detaches before
+        delivery (the sender cannot know, exactly as with a real
+        crashed peer).
         """
-        uplink = self.uplinks[src]
+        uplink = self.uplinks.get(src)
+        if uplink is None:
+            raise SimulationError(f"node {src} is not attached and cannot send")
         packet = Packet(src, dst, payload, size_bytes, sent_at=self.sim.now)
         uplink.enqueue(size_bytes, lambda: self._at_router(packet))
+
+    def _drop(self, packet: Packet, reason: str) -> None:
+        self.packets_dropped += 1
+        self.bytes_dropped += packet.size_bytes
+        self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
 
     def _at_router(self, packet: Packet) -> None:
         downlink = self.downlinks.get(packet.dst)
         if downlink is None:
-            return  # destination left the system while the packet flew
+            # Destination left the system while the packet flew.
+            self._drop(packet, "detached")
+            return
+        if self.faults is not None:
+            reason = self.faults.drop_reason(packet.src, packet.dst)
+            if reason is not None:
+                self._drop(packet, reason)
+                return
         delay = self.propagation_delay
         if self.propagation_jitter:
             delay += self._jitter_rng.uniform(0, self.propagation_jitter)
@@ -183,6 +225,7 @@ class StarNetwork:
     def _deliver(self, packet: Packet) -> None:
         handler = self._handlers.get(packet.dst)
         if handler is None:
+            self._drop(packet, "detached")
             return
         self.packets_delivered += 1
         self.bytes_delivered += packet.size_bytes

@@ -5,77 +5,279 @@ implementation uses TCP, which ensures reliable delivery between pairs
 of nodes."* RAC's misbehaviour detection leans on that: a missing
 message from a predecessor is evidence of freeriding, not of loss.
 
-:class:`ReliableTransport` gives protocol code the same contract: every
-``send`` is eventually delivered exactly once, and deliveries between a
-given (src, dst) pair happen in send order. The underlying star network
-is itself lossless and FIFO per link, but packets of different sizes
-can overtake each other through the router; the transport therefore
-carries sequence numbers and a hold-back queue, exactly like a
-simplified TCP reassembly buffer.
+On the original lossless :class:`~repro.simnet.network.StarNetwork`
+the transport only had to reorder packets. With the fault-injection
+layer (:mod:`repro.simnet.faults`) the network drops, delays and
+black-holes packets, so :class:`ReliableTransport` is a real ARQ:
+
+* every data segment carries a per-pair sequence number and is
+  acknowledged individually by the receiver (ACKs ride the same lossy
+  network);
+* unacknowledged segments are retransmitted on a timer with
+  exponential backoff, bounded by ``max_retries``; exhausting the
+  budget fires the ``on_failure`` callback — the peer is *gone*, which
+  is the protocol layer's cue, never a silent wedge;
+* the retransmission timeout is Jacobson's estimator (smoothed RTT
+  plus four mean deviations, clamped to ``[rto_min, rto_max]``) fed by
+  timestamp echo (the TCP timestamps option): each transmission
+  carries its send time and the ACK echoes it back, so *every* ACK —
+  including one for a retransmission — yields an unambiguous RTT
+  sample. Plain Karn-style sampling starves the estimator exactly when
+  it matters: under queueing-induced timeouts most ACKs are for
+  retransmitted segments, the RTO never learns the real RTT, and the
+  spurious retransmissions feed the very congestion that caused them;
+* the receiver suppresses duplicates (a lost ACK makes the sender
+  retransmit an already-delivered segment) and re-ACKs them, and a
+  hold-back queue releases segments strictly in per-pair send order.
+
+The resulting contract is the one protocol code always assumed: every
+``send`` between live, connected nodes is delivered exactly once, in
+per-pair order — now *earned* rather than inherited from a lossless
+substrate.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
 
+from .engine import ScheduledEvent
 from .network import Packet, StarNetwork
+from .stats import StatsRegistry
 
-__all__ = ["Segment", "ReliableTransport"]
+__all__ = ["Segment", "Ack", "ReliableTransport"]
+
+Pair = Tuple[int, int]
 
 
 @dataclass
 class Segment:
-    """A transport-level message: payload plus a per-pair sequence number."""
+    """A transport-level data message: payload, per-pair seqno, and the
+    timestamp of *this transmission* (each retransmission is a fresh
+    :class:`Segment` so in-flight copies keep their own timestamps)."""
 
     seqno: int
     payload: Any
+    ts: float = 0.0
+
+
+@dataclass
+class Ack:
+    """Acknowledgement of one data segment (selective, not cumulative).
+
+    ``echo_ts`` echoes the acknowledged transmission's timestamp, which
+    is what makes RTT measurable without retransmission ambiguity.
+    """
+
+    seqno: int
+    echo_ts: float = 0.0
+
+
+@dataclass
+class _Outstanding:
+    """Sender-side state of one unacknowledged segment."""
+
+    payload: Any
+    seqno: int
+    size_bytes: int  # wire size including the transport header
+    attempts: int = 0
+    timer: "Optional[ScheduledEvent]" = field(default=None, repr=False)
 
 
 class ReliableTransport:
-    """Exactly-once, per-pair FIFO message delivery.
+    """Exactly-once, per-pair FIFO message delivery over a lossy network.
 
     One instance serves a whole simulation: protocol nodes register a
     handler per node id, then call :meth:`send`. The transport adds a
-    fixed per-message header size to model framing overhead.
+    fixed per-message header size to model framing overhead; ACKs are
+    header-only packets.
     """
 
     HEADER_BYTES = 40  # IP + TCP headers, rounded
+    ACK_BYTES = 40  # a bare ACK is all header
 
-    def __init__(self, network: StarNetwork) -> None:
+    def __init__(
+        self,
+        network: StarNetwork,
+        *,
+        rto_initial: float = 0.05,
+        rto_min: float = 0.01,
+        rto_max: float = 2.0,
+        max_retries: int = 8,
+        stats: "Optional[StatsRegistry]" = None,
+        on_failure: "Optional[Callable[[int, int, Any], None]]" = None,
+    ) -> None:
+        if not 0 < rto_min <= rto_initial <= rto_max:
+            raise ValueError("need 0 < rto_min <= rto_initial <= rto_max")
+        if max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
         self.network = network
-        self._handlers: Dict[int, Callable[[int, Any], None]] = {}
-        self._next_seq: Dict[Tuple[int, int], int] = {}
-        self._expected: Dict[Tuple[int, int], int] = {}
-        self._holdback: Dict[Tuple[int, int], Dict[int, Any]] = {}
-        self.messages_delivered = 0
+        self.sim = network.sim
+        self.rto_initial = rto_initial
+        self.rto_min = rto_min
+        self.rto_max = rto_max
+        self.max_retries = max_retries
+        self.stats = stats
+        #: Called as ``on_failure(src, dst, payload)`` when a segment
+        #: exhausts its retry budget — the peer is unreachable.
+        self.on_failure = on_failure
 
+        self._handlers: Dict[int, Callable[[int, Any], None]] = {}
+        # Sender side.
+        self._next_seq: Dict[Pair, int] = {}
+        self._outstanding: Dict[Pair, Dict[int, _Outstanding]] = {}
+        # Receiver side.
+        self._expected: Dict[Pair, int] = {}
+        self._holdback: Dict[Pair, Dict[int, Any]] = {}
+        # Jacobson estimator state, per pair.
+        self._srtt: Dict[Pair, float] = {}
+        self._rttvar: Dict[Pair, float] = {}
+
+        self.messages_delivered = 0
+        self.segments_sent = 0
+        self.retransmits = 0
+        self.acks_sent = 0
+        self.duplicates = 0
+        self.delivery_failures = 0
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.stats is not None:
+            self.stats.add(name, amount)
+
+    # -- membership ----------------------------------------------------------
     def attach(self, node_id: int, handler: Callable[[int, Any], None]) -> None:
         """Register ``handler(src, payload)`` and join the network."""
         self._handlers[node_id] = handler
         self.network.attach(node_id, self._on_packet)
 
     def detach(self, node_id: int) -> None:
+        """Leave the network and drop every per-pair state of the node.
+
+        Clearing both sender- and receiver-side state matters: a node
+        that crashes and later re-attaches must start every pair at
+        seqno 0 on both ends, or its fresh segments would be mistaken
+        for stale duplicates and wedge the peer's hold-back queue.
+        """
         self._handlers.pop(node_id, None)
         self.network.detach(node_id)
+        for pair in [p for p in self._outstanding if node_id in p]:
+            for out in self._outstanding[pair].values():
+                if out.timer is not None:
+                    out.timer.cancel()
+            del self._outstanding[pair]
+        for table in (self._next_seq, self._expected, self._holdback, self._srtt, self._rttvar):
+            for pair in [p for p in table if node_id in p]:
+                del table[pair]
 
+    # -- sender side ---------------------------------------------------------
     def send(self, src: int, dst: int, payload: Any, size_bytes: int) -> None:
         """Send ``payload`` reliably from ``src`` to ``dst``."""
         pair = (src, dst)
         seqno = self._next_seq.get(pair, 0)
         self._next_seq[pair] = seqno + 1
-        segment = Segment(seqno, payload)
-        self.network.send(src, dst, segment, size_bytes + self.HEADER_BYTES)
+        out = _Outstanding(payload, seqno, size_bytes + self.HEADER_BYTES)
+        self._outstanding.setdefault(pair, {})[seqno] = out
+        self.segments_sent += 1
+        self._count("transport_segments_sent")
+        self._transmit(pair, out)
 
+    def _transmit(self, pair: Pair, out: _Outstanding) -> None:
+        src, dst = pair
+        # A fresh Segment per transmission: earlier copies still in
+        # flight must keep their own timestamps, or the echo would
+        # misattribute their RTT to the latest retransmission.
+        # The RTO policy is capped at rto_max, but the segment first
+        # waits out the backlog ahead of it in the sender's *own*
+        # uplink queue — no ACK can possibly arrive before the packet
+        # has even left. Arming the timer from enqueue time without
+        # that term turns every local backlog into a spurious
+        # retransmission (which then deepens the backlog).
+        own_queue = self.network.uplink_queue_delay(src)
+        self.network.send(
+            src, dst, Segment(out.seqno, out.payload, ts=self.sim.now), out.size_bytes
+        )
+        interval = min(self.rto_max, self.rto(src, dst) * (2 ** out.attempts))
+        out.timer = self.sim.schedule(own_queue + interval, self._on_timeout, pair, out.seqno)
+
+    def _on_timeout(self, pair: Pair, seqno: int) -> None:
+        out = self._outstanding.get(pair, {}).get(seqno)
+        if out is None:
+            return  # acknowledged (or pair detached) before the timer fired
+        src, dst = pair
+        if not self.network.attached(src):
+            del self._outstanding[pair][seqno]
+            return
+        out.attempts += 1
+        if out.attempts > self.max_retries:
+            del self._outstanding[pair][seqno]
+            self.delivery_failures += 1
+            self._count("transport_delivery_failures")
+            if self.on_failure is not None:
+                self.on_failure(src, dst, out.payload)
+            return
+        self.retransmits += 1
+        self._count("transport_retransmits")
+        self._transmit(pair, out)
+
+    def _on_ack(self, packet: Packet, ack: Ack) -> None:
+        # The ACK travels dst -> src, so the data pair is the reverse.
+        pair = (packet.dst, packet.src)
+        out = self._outstanding.get(pair, {}).pop(ack.seqno, None)
+        if out is None:
+            return  # duplicate ACK for an already-settled segment
+        if out.timer is not None:
+            out.timer.cancel()
+        # The echoed timestamp names the exact transmission being
+        # acknowledged, so the sample is valid even for retransmits.
+        self._sample_rtt(pair, self.sim.now - ack.echo_ts)
+
+    # -- RTT / RTO (Jacobson & Karn) ----------------------------------------
+    def _sample_rtt(self, pair: Pair, rtt: float) -> None:
+        srtt = self._srtt.get(pair)
+        if srtt is None:
+            self._srtt[pair] = rtt
+            self._rttvar[pair] = rtt / 2
+        else:
+            rttvar = self._rttvar[pair]
+            self._rttvar[pair] = 0.75 * rttvar + 0.25 * abs(srtt - rtt)
+            self._srtt[pair] = 0.875 * srtt + 0.125 * rtt
+        self._count("transport_rtt_samples")
+        self._count("transport_rtt_us_total", int(rtt * 1e6))
+
+    def srtt(self, src: int, dst: int) -> "Optional[float]":
+        """Smoothed RTT estimate for the pair, None before any sample."""
+        return self._srtt.get((src, dst))
+
+    def rto(self, src: int, dst: int) -> float:
+        """Current retransmission timeout for the pair."""
+        srtt = self._srtt.get((src, dst))
+        if srtt is None:
+            return self.rto_initial
+        rto = srtt + 4 * self._rttvar[(src, dst)]
+        return min(self.rto_max, max(self.rto_min, rto))
+
+    # -- receiver side -------------------------------------------------------
     def _on_packet(self, packet: Packet) -> None:
+        if isinstance(packet.payload, Ack):
+            self._on_ack(packet, packet.payload)
+            return
         segment = packet.payload
         if not isinstance(segment, Segment):
             raise TypeError("ReliableTransport received a raw packet")
         pair = (packet.src, packet.dst)
+        # Every received segment is ACKed — including duplicates, whose
+        # original ACK may be the very packet the network ate.
+        self.acks_sent += 1
+        self._count("transport_acks_sent")
+        self.network.send(
+            packet.dst, packet.src, Ack(segment.seqno, echo_ts=segment.ts), self.ACK_BYTES
+        )
         expected = self._expected.get(pair, 0)
-        if segment.seqno < expected:
-            return  # duplicate — already delivered
         holdback = self._holdback.setdefault(pair, {})
+        if segment.seqno < expected or segment.seqno in holdback:
+            self.duplicates += 1
+            self._count("transport_duplicates")
+            return
         holdback[segment.seqno] = segment.payload
         handler = self._handlers.get(packet.dst)
         while expected in holdback:
@@ -85,3 +287,8 @@ class ReliableTransport:
             self.messages_delivered += 1
             if handler is not None:
                 handler(packet.src, payload)
+
+    # -- introspection -------------------------------------------------------
+    def in_flight(self, src: int, dst: int) -> int:
+        """Number of unacknowledged segments from ``src`` to ``dst``."""
+        return len(self._outstanding.get((src, dst), {}))

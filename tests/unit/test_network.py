@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.simnet.engine import Simulator
+from repro.simnet.engine import SimulationError, Simulator
+from repro.simnet.faults import FaultInjector
 from repro.simnet.network import DEFAULT_PROPAGATION_DELAY, GBPS, Link, Packet, StarNetwork
 
 
@@ -81,13 +82,23 @@ class TestStarNetwork:
         sim.run()
         assert arrival[0] == pytest.approx(0.020 + DEFAULT_PROPAGATION_DELAY)
 
-    def test_send_from_unattached_raises(self):
+    def test_send_from_unattached_raises_simulation_error(self):
+        # A detached source is a protocol-stack bug, not a network
+        # condition: the error must be explicit, not a bare KeyError.
         sim, net = self.make()
         net.attach(1, lambda p: None)
-        with pytest.raises(KeyError):
+        with pytest.raises(SimulationError, match="node 99 is not attached"):
             net.send(99, 1, "x", 10)
 
-    def test_detached_destination_drops_silently(self):
+    def test_send_after_own_detach_raises(self):
+        sim, net = self.make()
+        net.attach(1, lambda p: None)
+        net.attach(2, lambda p: None)
+        net.detach(2)
+        with pytest.raises(SimulationError):
+            net.send(2, 1, "x", 10)
+
+    def test_detached_destination_drops_silently_but_counted(self):
         sim, net = self.make()
         received = []
         net.attach(1, lambda p: received.append(p))
@@ -96,6 +107,8 @@ class TestStarNetwork:
         net.detach(1)
         sim.run()
         assert received == []
+        assert net.packets_dropped == 1
+        assert net.drops_by_reason == {"detached": 1}
 
     def test_detach_mid_flight_drops(self):
         sim, net = self.make()
@@ -107,6 +120,7 @@ class TestStarNetwork:
         net.detach(1)
         sim.run()
         assert received == []
+        assert net.drops_by_reason == {"detached": 1}
 
     def test_double_attach_rejected(self):
         _sim, net = self.make()
@@ -136,3 +150,33 @@ class TestStarNetwork:
         sim.run()
         assert net.packets_delivered == 2
         assert net.bytes_delivered == 30
+        assert net.packets_dropped == 0
+        assert net.bytes_dropped == 0
+
+    def test_loss_drops_are_counted(self):
+        sim = Simulator()
+        faults = FaultInjector(sim, seed=5, loss_rate=0.5)
+        net = StarNetwork(sim, bandwidth_bps=1_000_000, faults=faults)
+        net.attach(1, lambda p: None)
+        net.attach(2, lambda p: None)
+        for _ in range(50):
+            net.send(1, 2, "x", 10)
+        sim.run()
+        assert net.packets_delivered + net.packets_dropped == 50
+        assert net.packets_dropped > 0
+        assert net.drops_by_reason["loss"] == net.packets_dropped
+        assert net.bytes_dropped == 10 * net.packets_dropped
+
+    def test_degraded_link_slows_serialization(self):
+        sim = Simulator()
+        faults = FaultInjector(sim, seed=0)
+        net = StarNetwork(sim, bandwidth_bps=1_000_000, faults=faults)
+        arrival = []
+        net.attach(1, lambda p: arrival.append(sim.now))
+        net.attach(2, lambda p: None)
+        faults.schedule_degradation(2, at=0.0, duration=10.0, factor=0.5, direction="up")
+        sim.run(until=1e-9)  # let the degradation window open
+        net.send(2, 1, "x", 1250)  # nominally 10 ms/link at 1 Mb/s
+        sim.run()
+        # Uplink at half rate: 20 ms; downlink untouched: 10 ms.
+        assert arrival[0] == pytest.approx(0.030 + DEFAULT_PROPAGATION_DELAY)
