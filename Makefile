@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report examples ci clean
+.PHONY: install test bench bench-baseline ci-bench-smoke report examples ci clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -15,6 +15,13 @@ test-fast:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+	PYTHONPATH=src $(PYTHON) benchmarks/baseline.py
+
+bench-baseline:  # refresh BENCH_protocol.json without the pytest benches
+	PYTHONPATH=src $(PYTHON) benchmarks/baseline.py
+
+ci-bench-smoke:  # fail if seal/peel throughput regressed >2x vs BENCH_protocol.json
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_smoke.py -q
 
 report:
 	$(PYTHON) -m repro report --output results/full_report.txt
@@ -22,6 +29,7 @@ report:
 ci:  # what .github/workflows/ci.yml runs
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	$(PYTHON) experiments/fault_sweep.py --smoke
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_smoke.py -q
 
 examples:
 	for ex in examples/*.py; do echo "=== $$ex ==="; $(PYTHON) $$ex || exit 1; done

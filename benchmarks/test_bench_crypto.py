@@ -1,0 +1,85 @@
+"""Crypto and engine microbenchmarks (the optimisation hot paths).
+
+Times the primitives the whole-system benches bottleneck on: the
+SHA256-CTR keystream, sim/dh sealed-box round trips, comb fixed-base
+exponentiation, and the calendar queue's raw event rate. Speedup
+anchors against the seed implementation live in ``BENCH_protocol.json``
+(regenerate with ``make bench``).
+"""
+
+import random
+
+from repro.crypto import stream
+from repro.crypto.dh import GROUP_2048, generate_keypair
+from repro.crypto.keys import KeyPair, seal
+from repro.simnet.engine import Simulator
+
+
+def test_keystream_xor_10k(benchmark):
+    key, nonce, data = b"k" * 32, b"n" * 16, bytes(10_000)
+    out = benchmark(stream.keystream_xor, key, nonce, data)
+    assert stream.keystream_xor(key, nonce, out) == data
+
+
+def test_encrypt_decrypt_10k(benchmark):
+    key, nonce, data = b"k" * 32, b"n" * 16, bytes(10_000)
+
+    def roundtrip():
+        return stream.decrypt(key, nonce, stream.encrypt(key, nonce, data))
+
+    assert benchmark(roundtrip) == data
+
+
+def test_sim_seal_unseal_10k(benchmark):
+    rng = random.Random(1)
+    pair = KeyPair.generate("sim", seed=2)
+    msg = bytes(10_000)
+
+    def roundtrip():
+        return pair.unseal(seal(pair.public, msg, seed=rng.getrandbits(62)))
+
+    assert benchmark(roundtrip) == msg
+
+
+def test_dh_seal_unseal_10k(benchmark):
+    rng = random.Random(1)
+    pair = KeyPair.generate("dh", seed=3)
+    msg = bytes(10_000)
+
+    def roundtrip():
+        return pair.unseal(seal(pair.public, msg, seed=rng.getrandbits(62)))
+
+    assert benchmark(roundtrip) == msg
+
+
+def test_dh_keygen(benchmark):
+    seeds = iter(range(10 ** 9))
+
+    def keygen():
+        return generate_keypair(seed=next(seeds))
+
+    assert benchmark(keygen) is not None
+
+
+def test_fixed_base_pow(benchmark):
+    exponent = (1 << 255) | 0x1234567890ABCDEF
+
+    def comb():
+        return GROUP_2048.fixed_base_pow(exponent)
+
+    assert benchmark(comb) == pow(GROUP_2048.generator, exponent, GROUP_2048.prime)
+
+
+def test_engine_drain_100k_events(benchmark):
+    def drain():
+        sim = Simulator()
+        for i in range(100_000):
+            sim.schedule(float(i % 97) * 1e-3, _noop)
+        sim.run()
+        return sim.events_processed
+
+    assert benchmark(drain) == 100_000
+
+
+def _noop():
+    pass

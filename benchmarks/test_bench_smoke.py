@@ -1,0 +1,50 @@
+"""CI regression gate against the committed performance baseline.
+
+Re-measures the seal+peel microbench with the exact methodology of
+``benchmarks/baseline.py`` and fails when throughput has regressed more
+than 2x against the committed ``BENCH_protocol.json``. The 2x margin
+absorbs CI-machine noise while still catching an accidentally reverted
+fast path (the optimisations are 4-6x, so losing one blows the gate).
+
+Runs as a plain pytest test — no pytest-benchmark fixture — so it is
+cheap enough for every CI push (``make ci-bench-smoke``).
+"""
+
+import json
+
+import pytest
+
+from benchmarks import baseline
+
+REGRESSION_FACTOR = 2.0
+
+
+@pytest.fixture(scope="module")
+def committed():
+    if not baseline.BASELINE_PATH.exists():
+        pytest.skip("no committed BENCH_protocol.json (run `make bench` first)")
+    return json.loads(baseline.BASELINE_PATH.read_text())["microbench"]
+
+
+def _assert_not_regressed(name: str, measured_us: float, committed_us: float):
+    limit = committed_us * REGRESSION_FACTOR
+    assert measured_us <= limit, (
+        f"{name} regressed: {measured_us:.0f}us measured vs {committed_us:.0f}us "
+        f"committed baseline (>{REGRESSION_FACTOR}x; re-run `make bench` if this "
+        f"is an intentional trade-off)"
+    )
+
+
+def test_sim_seal_unseal_within_2x_of_baseline(committed):
+    measured = baseline.measure_seal_unseal_10k("sim", repeats=5, number=50)
+    _assert_not_regressed("sim seal+unseal", measured, committed["sim_seal_unseal_10k_us"])
+
+
+def test_dh_seal_unseal_within_2x_of_baseline(committed):
+    measured = baseline.measure_seal_unseal_10k("dh", repeats=5, number=30)
+    _assert_not_regressed("dh seal+unseal", measured, committed["dh_seal_unseal_10k_us"])
+
+
+def test_keystream_within_2x_of_baseline(committed):
+    measured = baseline.measure_keystream_10k(repeats=5, number=200)
+    _assert_not_regressed("keystream", measured, committed["keystream_10k_us"])

@@ -29,6 +29,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="RAC (ICDCS 2013) reproduction - regenerate paper figures and tables",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the command under cProfile and print the top 25 functions "
+        "by cumulative time to stderr (hot-path triage for the simulator)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("fig1", help="Figure 1: Dissent v1/v2 throughput vs N")
@@ -64,10 +70,29 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: "Optional[List[str]]" = None) -> int:
     try:
-        return _dispatch(build_parser().parse_args(argv))
+        args = build_parser().parse_args(argv)
+        if args.profile:
+            return _profiled_dispatch(args)
+        return _dispatch(args)
     except BrokenPipeError:
         # Piping into `head` etc. closes stdout early; not an error.
         return 0
+
+
+def _profiled_dispatch(args: argparse.Namespace) -> int:
+    """Run the command under cProfile; stats go to stderr so stdout
+    stays parseable (the artefact tables are diffed by the benches)."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return _dispatch(args)
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(25)
 
 
 def _dispatch(args: argparse.Namespace) -> int:

@@ -109,6 +109,17 @@ class RacNode:
         # Control-plane dedup.
         self._control_seen: Set[int] = set()
 
+        #: (domain-kind-is-group, sealed-blob hash) pairs whose trial
+        #: peel already came back opaque. A node's keypairs never
+        #: change, so re-peeling the same blob with the same key
+        #: context can only yield opaque again — skip the crypto. Keyed
+        #: per domain kind because group peels try the ID key while
+        #: channel peels do not, and only *opaque* outcomes are cached
+        #: (relay/deliver outcomes consume rng re-padding the inner
+        #: layer, so they must never be skipped). Cleared alongside the
+        #: broadcast-state GC to stay bounded.
+        self._opaque_peels: Set[Tuple[bool, int]] = set()
+
         # Diagnostics.
         self.counters: Dict[str, int] = {}
         self._ticks_since_gc = 0
@@ -219,6 +230,10 @@ class RacNode:
             dropped += state.forget_before(horizon)
         if dropped:
             self._count("state_records_collected", dropped)
+        # The opaque-peel memo only dedups blobs still circulating; a
+        # blob old enough for its receipt records to be GC'd will not
+        # be seen again, so the memo resets with the same cadence.
+        self._opaque_peels.clear()
 
     def _originate_slot(self) -> None:
         """Fill this interval's slot: group relay duty > data > noise."""
@@ -299,7 +314,7 @@ class RacNode:
         # A node can be chosen as a relay for a message addressed to
         # itself (the sender only knows the destination's pseudonym
         # key), so originated re-broadcasts must be peeled too.
-        self._try_peel(domain, wire)
+        self._try_peel(domain, wire, msg_id)
 
     def _forward(self, domain: DomainId, wire: bytes, msg_id: int) -> None:
         """Send one copy to the successor on every ring of the domain."""
@@ -408,15 +423,25 @@ class RacNode:
             self._forward(domain, broadcast.wire, broadcast.msg_id)
         else:
             self._count("forward_skipped")
-        self._try_peel(domain, broadcast.wire)
+        self._try_peel(domain, broadcast.wire, broadcast.msg_id)
 
-    def _try_peel(self, domain: DomainId, wire: bytes) -> None:
+    def _try_peel(self, domain: DomainId, wire: bytes, msg_id: int) -> None:
         # Channels carry only innermost layers, so nodes try only their
         # pseudonym key there (Section IV-C "Receiving a message").
-        id_kp = self.id_keypair if domain[0] == "group" else None
+        is_group = domain[0] == "group"
+        peel_key = (is_group, msg_id)
+        if peel_key in self._opaque_peels:
+            # Same sealed blob, same key context, previously opaque:
+            # the outcome cannot have changed — skip the trial peel.
+            self._count("peel_skipped_duplicate")
+            return
+        id_kp = self.id_keypair if is_group else None
         result = peel(
             wire, id_kp, self.pseudonym_keypair, self.config.message_size, rng=self.rng
         )
+        if result.kind == "opaque":
+            self._opaque_peels.add(peel_key)
+            return
         if result.kind == "deliver":
             self.delivered.append(result.payload)
             self.delivered_at.append(self.env.now)

@@ -41,6 +41,13 @@ _MARKER_LEN = 8
 _LEN_PREFIX = struct.Struct(">I")
 _NO_MARKER = 0
 
+# Hoisted per-layer constants: building one onion used to allocate the
+# one-byte flag prefix and re-pack the empty marker once per layer.
+_RELAY_PREFIX = bytes([FLAG_RELAY])
+_DELIVER_PREFIX = bytes([FLAG_DELIVER])
+_NO_MARKER_BYTES = _NO_MARKER.to_bytes(_MARKER_LEN, "big")
+_PACK_LEN = _LEN_PREFIX.pack
+
 
 # --------------------------------------------------------------------------
 # Wire padding
@@ -120,20 +127,18 @@ def build_onion(
         return rng.getrandbits(62)
 
     # Innermost: the destination (pseudonym-key) layer.
-    inner_plain = bytes([FLAG_DELIVER]) + _LEN_PREFIX.pack(len(payload)) + payload
+    inner_plain = _DELIVER_PREFIX + _PACK_LEN(len(payload)) + payload
     blob = seal(destination_key, inner_plain, seed=_seed())
     layer_ids = [message_id(blob)]
 
     # Relay layers, last relay's first (it is the innermost of the L).
     last_index = len(relay_keys) - 1
     for index in range(last_index, -1, -1):
-        marker = marker_gid if (index == last_index and marker_gid is not None) else _NO_MARKER
-        content = (
-            bytes([FLAG_RELAY])
-            + int(marker).to_bytes(_MARKER_LEN, "big")
-            + _LEN_PREFIX.pack(len(blob))
-            + blob
-        )
+        if index == last_index and marker_gid is not None:
+            marker_bytes = int(marker_gid).to_bytes(_MARKER_LEN, "big")
+        else:
+            marker_bytes = _NO_MARKER_BYTES
+        content = _RELAY_PREFIX + marker_bytes + _PACK_LEN(len(blob)) + blob
         blob = seal(relay_keys[index], content, seed=_seed())
         layer_ids.append(message_id(blob))
 

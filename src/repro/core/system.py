@@ -37,7 +37,7 @@ from ..overlay.membership import MembershipView
 from ..simnet.engine import Simulator
 from ..simnet.faults import FaultInjector
 from ..simnet.network import StarNetwork
-from ..simnet.stats import LatencyMeter, StatsRegistry, ThroughputMeter
+from ..simnet.stats import LatencyMeter, StatsRegistry, ThroughputMeter, engine_counters
 from ..simnet.trace import Tracer
 from ..simnet.transport import ReliableTransport
 from ..crypto.shuffle import ShuffleParticipant, run_shuffle
@@ -242,6 +242,7 @@ class RacSystem:
         report["net_bytes_dropped"] = self.network.bytes_dropped
         for reason, count in sorted(self.network.drops_by_reason.items()):
             report[f"net_dropped_{reason}"] = count
+        report.update(engine_counters(self.sim))
         return report
 
     # ======================================================================

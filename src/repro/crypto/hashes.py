@@ -18,6 +18,7 @@ about byte order.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import struct
 
@@ -86,6 +87,7 @@ def truncated_bits(value: int, bits: int) -> int:
     return value & ((1 << bits) - 1)
 
 
+@functools.lru_cache(maxsize=1 << 18)
 def ring_position(node_id: int, ring_index: int) -> int:
     """Position of a node on ring ``ring_index``.
 
@@ -93,6 +95,10 @@ def ring_position(node_id: int, ring_index: int) -> int:
     hash of the couple (ID, i). Positions are compared as unsigned
     integers; ties are broken by node id (collisions are astronomically
     unlikely with 128-bit hashes but the overlay handles them anyway).
+
+    Cached (bounded LRU): a position is a pure function of its inputs,
+    and the overlay re-derives the same handful of positions on every
+    successor/predecessor lookup of the forwarding hot path.
     """
     if ring_index < 0:
         raise ValueError("ring index must be non-negative")

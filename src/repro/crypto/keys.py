@@ -31,21 +31,53 @@ Protocol code never branches on the backend: it calls
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import secrets
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 from . import dh as _dh
 from . import stream as _stream
 from .stream import AuthenticationError
 
-__all__ = ["PublicKey", "KeyPair", "seal", "sealed_overhead", "AuthenticationError"]
+__all__ = ["PublicKey", "KeyPair", "seal", "sealed_overhead", "clear_kem_cache", "AuthenticationError"]
 
 _SIM_KEYID_LEN = 16
 _SIM_NONCE_LEN = 16
 _TAG_SIM = b"S"
 _TAG_DH = b"D"
+
+# ---------------------------------------------------------------------------
+# KEM cache
+#
+# The DH shared secret is a pure function of (ephemeral public key,
+# recipient keypair): the sender computes eph^priv from one side, the
+# opener recipient_pub^eph from the other, and DH agreement makes the
+# bytes identical. Every RAC broadcast is trial-peeled by *all* g group
+# members, so a relay that re-sees an onion layer — or a node whose
+# sealed blob circulates several rings — would otherwise repeat a full
+# modular exponentiation per sighting. The cache is bounded LRU and
+# keyed on (ephemeral-pub-bytes, recipient key id); entries for keys
+# that fail to open are cached too (the failed MAC check is what makes
+# "not for me" cheap the second time).
+# ---------------------------------------------------------------------------
+
+_KEM_CACHE: "OrderedDict[Tuple[bytes, int], bytes]" = OrderedDict()
+_KEM_CACHE_MAX = 4096
+
+
+def _kem_cache_put(eph_bytes: bytes, recipient_id: int, shared: bytes) -> None:
+    cache = _KEM_CACHE
+    cache[(eph_bytes, recipient_id)] = shared
+    if len(cache) > _KEM_CACHE_MAX:
+        cache.popitem(last=False)
+
+
+def clear_kem_cache() -> None:
+    """Drop every cached KEM shared secret (tests and benchmarks)."""
+    _KEM_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -141,17 +173,25 @@ class KeyPair:
         pub_len = (group.prime.bit_length() + 7) // 8
         if len(body) < pub_len:
             raise AuthenticationError("sealed box too short")
-        eph_value = int.from_bytes(body[:pub_len], "big")
-        eph_pub = _dh.DHPublicKey(group, eph_value)
-        shared = self._private.shared_secret(eph_pub)
-        nonce = hashlib.sha256(b"rac/seal-nonce" + body[:pub_len]).digest()[:16]
+        eph_bytes = body[:pub_len]
+        cache_key = (eph_bytes, self.public.key_id)
+        shared = _KEM_CACHE.get(cache_key)
+        if shared is None:
+            eph_pub = _dh.DHPublicKey(group, int.from_bytes(eph_bytes, "big"))
+            shared = self._private.shared_secret(eph_pub)
+            _kem_cache_put(eph_bytes, self.public.key_id, shared)
+        else:
+            _KEM_CACHE.move_to_end(cache_key)
+        nonce = hashlib.sha256(b"rac/seal-nonce" + eph_bytes).digest()[:16]
         return _stream.decrypt(shared, nonce, body[pub_len:])
 
 
+@functools.lru_cache(maxsize=8192)
 def _sim_symmetric_key(key_id: int) -> bytes:
     # The sim backend derives the symmetric key from the *public* key id:
     # interface-faithful (wrong key -> AuthenticationError) but knowingly
-    # not confidential. See the module docstring.
+    # not confidential. See the module docstring. Cached: pure function
+    # of the key id, recomputed on every seal/unseal otherwise.
     return hashlib.sha256(b"rac/sim-sym" + key_id.to_bytes(_SIM_KEYID_LEN, "big")).digest()
 
 
@@ -175,10 +215,16 @@ def seal(public: PublicKey, plaintext: bytes, seed: "int | None" = None) -> byte
         group = public.dh_group
         assert group is not None and public.dh_value is not None
         eph = _dh.generate_keypair(group, seed=seed)
-        recipient = _dh.DHPublicKey(group, public.dh_value)
-        shared = eph.shared_secret(recipient)
         pub_len = (group.prime.bit_length() + 7) // 8
         eph_bytes = eph.public_key().value.to_bytes(pub_len, "big")
+        cache_key = (eph_bytes, public.key_id)
+        shared = _KEM_CACHE.get(cache_key)
+        if shared is None:
+            recipient = _dh.DHPublicKey(group, public.dh_value)
+            shared = eph.shared_secret(recipient)
+            _kem_cache_put(eph_bytes, public.key_id, shared)
+        else:
+            _KEM_CACHE.move_to_end(cache_key)
         nonce = hashlib.sha256(b"rac/seal-nonce" + eph_bytes).digest()[:16]
         return _TAG_DH + eph_bytes + _stream.encrypt(shared, nonce, plaintext)
     raise ValueError(f"unknown key backend: {public.backend!r}")

@@ -10,6 +10,7 @@ exactly what the MAC check gives us.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import hmac
 import struct
@@ -18,25 +19,43 @@ __all__ = ["keystream_xor", "mac", "verify_mac", "encrypt", "decrypt", "Authenti
 
 MAC_LEN = 16
 _BLOCK = 32  # SHA-256 output size
+_PACK_COUNTER = struct.Struct(">Q").pack
+
+#: Packed big-endian counters, extended lazily; a 10 kB message needs
+#: 313 of them per keystream, so re-packing per block adds up.
+_COUNTER_PACKS: "list[bytes]" = [_PACK_COUNTER(i) for i in range(512)]
+
+
+def keystream_xor(key: bytes, nonce: bytes, data: bytes) -> bytes:
+    """XOR ``data`` with a SHA256-CTR keystream; its own inverse.
+
+    The keystream block for counter ``c`` is ``SHA256(key || nonce ||
+    c)``, exactly as in the original per-byte implementation — but the
+    blocks are generated from a shared midstate (one hash of ``key ||
+    nonce``, copied per block) and the XOR happens in a single big-int
+    operation instead of a Python loop, which is where simulation time
+    used to go: every trial-peel of every broadcast runs through here.
+    """
+    size = len(data)
+    if size == 0:
+        return b""
+    nblocks = (size + _BLOCK - 1) // _BLOCK
+    packs = _COUNTER_PACKS
+    while nblocks > len(packs):
+        packs.append(_PACK_COUNTER(len(packs)))
+    base = hashlib.sha256(key + nonce)
+    copy = base.copy
+    stream = b"".join([_ctr_block(copy(), pack) for pack in packs[:nblocks]])[:size]
+    return (int.from_bytes(data, "big") ^ int.from_bytes(stream, "big")).to_bytes(size, "big")
+
+
+def _ctr_block(block, pack: bytes) -> bytes:
+    block.update(pack)
+    return block.digest()
 
 
 class AuthenticationError(Exception):
     """Raised when a MAC check fails (layer not addressed to this key)."""
-
-
-def keystream_xor(key: bytes, nonce: bytes, data: bytes) -> bytes:
-    """XOR ``data`` with a SHA256-CTR keystream; its own inverse."""
-    out = bytearray(len(data))
-    offset = 0
-    counter = 0
-    while offset < len(data):
-        block = hashlib.sha256(key + nonce + struct.pack(">Q", counter)).digest()
-        chunk = data[offset : offset + _BLOCK]
-        for i, byte in enumerate(chunk):
-            out[offset + i] = byte ^ block[i]
-        offset += _BLOCK
-        counter += 1
-    return bytes(out)
 
 
 def mac(key: bytes, data: bytes) -> bytes:
@@ -49,7 +68,12 @@ def verify_mac(key: bytes, data: bytes, tag: bytes) -> bool:
     return hmac.compare_digest(mac(key, data), tag)
 
 
+@functools.lru_cache(maxsize=4096)
 def _split_key(key: bytes) -> "tuple[bytes, bytes]":
+    # Cached: every seal/open of a layer re-derives the same two
+    # subkeys, and a simulation touches the same node keys constantly.
+    # The derivation is a pure function of ``key``, so caching cannot
+    # change any output byte.
     enc = hashlib.sha256(b"rac/enc" + key).digest()
     auth = hashlib.sha256(b"rac/auth" + key).digest()
     return enc, auth

@@ -5,6 +5,21 @@ simulator. This module is the Python substitute: a classic
 calendar-queue engine with deterministic tie-breaking so that two runs
 with the same seed replay the same event order.
 
+Two hot-path properties matter at scale (a 64-node run pushes ~10M
+events through this queue):
+
+* heap entries are plain ``(time, seq, event)`` tuples, so ``heappush``
+  / ``heappop`` compare with C tuple comparison instead of a generated
+  dataclass ``__lt__`` (the single largest cost in profiled seed runs);
+* cancelled events are counted and the queue is **compacted** when the
+  dead entries outnumber half the heap, instead of waiting for each one
+  to surface at the heap head (the ARQ transport cancels one retransmit
+  timer per acknowledged segment, so dead timers otherwise dominate the
+  calendar under load).
+
+Both changes are order-preserving: events still fire in exactly
+``(time, seq)`` order, so fixed-seed runs replay byte-identically.
+
 The engine knows nothing about networks; :mod:`repro.simnet.network`
 builds the star topology on top of it.
 """
@@ -14,28 +29,40 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 __all__ = ["Simulator", "ScheduledEvent", "SimulationError"]
+
+#: Compaction never triggers below this queue size; rebuilding tiny
+#: heaps costs more than letting the dead entries surface naturally.
+_COMPACT_MIN_QUEUE = 64
 
 
 class SimulationError(Exception):
     """Raised on scheduling into the past or similar misuse."""
 
 
-@dataclass(order=True)
+@dataclass(slots=True)
 class ScheduledEvent:
-    """An event in the calendar queue. Ordered by (time, seq)."""
+    """An event in the calendar queue; fires in ``(time, seq)`` order."""
 
     time: float
     seq: int
     callback: Callable[..., Any] = field(compare=False)
     args: tuple = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    #: Owning simulator, set by :meth:`Simulator.schedule` so that
+    #: :meth:`cancel` can keep the dead-entry accounting current.
+    owner: "Optional[Simulator]" = field(compare=False, default=None, repr=False)
 
     def cancel(self) -> None:
-        """Mark the event dead; it will be skipped when popped."""
+        """Mark the event dead; it will be skipped (or compacted away)
+        instead of firing."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.owner is not None:
+            self.owner._note_cancelled()
 
 
 class Simulator:
@@ -52,33 +79,66 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now = 0.0
-        self._queue: "list[ScheduledEvent]" = []
+        self._queue: "List[Tuple[float, int, ScheduledEvent]]" = []
         self._seq = itertools.count()
         self.events_processed = 0
+        #: Total cancel() calls on still-pending events (monotonic).
+        self.events_cancelled = 0
+        #: Times the calendar was rebuilt to shed cancelled entries.
+        self.queue_compactions = 0
+        self._cancelled_pending = 0
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay}s into the past")
-        event = ScheduledEvent(self.now + delay, next(self._seq), callback, args)
-        heapq.heappush(self._queue, event)
+        event = ScheduledEvent(self.now + delay, next(self._seq), callback, args, owner=self)
+        heapq.heappush(self._queue, (event.time, event.seq, event))
         return event
 
     def schedule_at(self, when: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
         """Schedule ``callback(*args)`` at absolute time ``when``."""
         return self.schedule(when - self.now, callback, *args)
 
+    def _note_cancelled(self) -> None:
+        self.events_cancelled += 1
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending > _COMPACT_MIN_QUEUE
+            and self._cancelled_pending * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the calendar without its cancelled entries.
+
+        Heap order is a function of the ``(time, seq)`` keys alone, so
+        dropping entries and re-heapifying cannot reorder the survivors.
+        """
+        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_pending = 0
+        self.queue_compactions += 1
+
+    def pending_events(self) -> int:
+        """Calendar entries currently held, cancelled ones included."""
+        return len(self._queue)
+
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` when idle."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
+            self._cancelled_pending -= 1
+        return queue[0][0] if queue else None
 
     def step(self) -> bool:
         """Run the single next event. Returns ``False`` when idle."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            _, _, event = heapq.heappop(queue)
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
             self.now = event.time
             self.events_processed += 1

@@ -96,6 +96,11 @@ class FaultInjector:
         self.outages: List[Outage] = []
         self.partitions: List[Partition] = []
         self._network = None
+        #: True while no loss/outage/partition is configured at all —
+        #: the common (paper-faithful) case, in which the per-packet
+        #: verdict short-circuits without touching the RNG (it would
+        #: not draw anyway: the Bernoulli draw is skipped at p == 0).
+        self._faultless = True
         if loss_rate:
             self.set_loss_rate(loss_rate)
 
@@ -117,12 +122,21 @@ class FaultInjector:
             raise ValueError("loss rate must be in [0, 1)")
         if node_id is None:
             self.default_loss_rate = rate
-            return
-        for d in _check_direction(direction if direction is not None else "both"):
-            self._link_loss[(node_id, d)] = rate
+        else:
+            for d in _check_direction(direction if direction is not None else "both"):
+                self._link_loss[(node_id, d)] = rate
+        self._refresh_faultless()
 
     def loss_rate(self, node_id: int, direction: str) -> float:
         return self._link_loss.get((node_id, direction), self.default_loss_rate)
+
+    def _refresh_faultless(self) -> None:
+        self._faultless = (
+            self.default_loss_rate == 0.0
+            and not any(self._link_loss.values())
+            and not self.outages
+            and not self.partitions
+        )
 
     # -- scheduled faults -----------------------------------------------------
     def schedule_outage(
@@ -133,6 +147,7 @@ class FaultInjector:
             raise ValueError("outage duration must be positive")
         for d in _check_direction(direction):
             self.outages.append(Outage(node_id, d, at, at + duration))
+        self._faultless = False
 
     def schedule_partition(
         self, side_a: "Iterable[int]", side_b: "Iterable[int]", at: float, duration: float
@@ -144,6 +159,7 @@ class FaultInjector:
         if a & b:
             raise ValueError(f"partition sides overlap: {sorted(a & b)}")
         self.partitions.append(Partition(a, b, at, at + duration))
+        self._faultless = False
 
     def schedule_degradation(
         self, node_id: int, at: float, duration: float, factor: float, direction: str = "both"
@@ -190,6 +206,8 @@ class FaultInjector:
         random draw so they never consume RNG state — editing the fault
         plan does not shift the loss pattern of unrelated packets.
         """
+        if self._faultless:
+            return None
         now = self.sim.now
         if self.outage_active(src, "up", now) or self.outage_active(dst, "down", now):
             return "outage"

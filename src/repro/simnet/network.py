@@ -38,7 +38,7 @@ GBPS = 1_000_000_000
 DEFAULT_PROPAGATION_DELAY = 50e-6
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A message in flight: opaque payload plus accounted wire size."""
 

@@ -12,7 +12,29 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-__all__ = ["ThroughputMeter", "LatencyMeter", "Counter", "StatsRegistry", "summarize"]
+__all__ = [
+    "ThroughputMeter",
+    "LatencyMeter",
+    "Counter",
+    "StatsRegistry",
+    "engine_counters",
+    "summarize",
+]
+
+
+def engine_counters(sim) -> "Dict[str, int]":
+    """Calendar-queue health counters of a :class:`~repro.simnet.engine.Simulator`.
+
+    ``sim_events_cancelled`` vs ``sim_queue_compactions`` is the leak
+    gauge: before compaction existed, every cancelled ARQ retransmit
+    timer sat in the heap until it surfaced at the head.
+    """
+    return {
+        "sim_events_processed": sim.events_processed,
+        "sim_events_cancelled": sim.events_cancelled,
+        "sim_queue_compactions": sim.queue_compactions,
+        "sim_queue_pending": sim.pending_events(),
+    }
 
 
 class ThroughputMeter:
@@ -88,7 +110,7 @@ class LatencyMeter:
         }
 
 
-@dataclass
+@dataclass(slots=True)
 class Counter:
     """A named monotonic counter."""
 
@@ -106,12 +128,16 @@ class StatsRegistry:
     counters: Dict[str, Counter] = field(default_factory=dict)
 
     def counter(self, name: str) -> Counter:
-        if name not in self.counters:
-            self.counters[name] = Counter(name)
-        return self.counters[name]
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
 
     def add(self, name: str, amount: int = 1) -> None:
-        self.counter(name).add(amount)
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        c.value += amount
 
     def value(self, name: str) -> int:
         return self.counters[name].value if name in self.counters else 0

@@ -50,7 +50,7 @@ __all__ = ["Segment", "Ack", "ReliableTransport"]
 Pair = Tuple[int, int]
 
 
-@dataclass
+@dataclass(slots=True)
 class Segment:
     """A transport-level data message: payload, per-pair seqno, and the
     timestamp of *this transmission* (each retransmission is a fresh
@@ -61,7 +61,7 @@ class Segment:
     ts: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class Ack:
     """Acknowledgement of one data segment (selective, not cumulative).
 
@@ -73,7 +73,7 @@ class Ack:
     echo_ts: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _Outstanding:
     """Sender-side state of one unacknowledged segment."""
 

@@ -1,0 +1,84 @@
+"""Fixed-seed determinism pins for the performance layer.
+
+The crypto and hot-path optimisations (bulk keystream, cached key
+derivations, fixed-base exponentiation, KEM cache, peel dedup, calendar
+compaction) must not change a single wire byte or reorder a single
+event. These tests pin a SHA-256 fingerprint over
+
+* every ``Broadcast`` wire blob, in unicast order,
+* every control-plane payload,
+* the full protocol trace (time, kind, node, detail),
+* every node's delivered payloads, and
+* the final clock / event count,
+
+for a fixed-seed run of each key backend. The expected digests were
+recorded against the seed implementation (pre-optimisation); a digest
+change means an optimisation altered observable behaviour and is a bug,
+not a baseline to re-record casually.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.config import RacConfig
+from repro.core.messages import Broadcast
+from repro.core.system import RacSystem
+
+# Digests recorded from the seed (pre-optimisation) implementation.
+EXPECTED_SIM = "e13a6c058436f290cbefba26394a859a2d735cf58e527caa51ff6eafaf30823b"
+EXPECTED_DH = "28466e14f00a16163af150e081ebe9a0764b00a39136740b19df71fb08d6192a"
+
+
+class _RecordingSystem(RacSystem):
+    """RacSystem that folds every unicast payload into a running hash."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.hasher = hashlib.sha256()
+
+    def unicast(self, src, dst, payload, size_bytes):
+        self.hasher.update(f"u|{src}|{dst}|{size_bytes}|".encode())
+        if isinstance(payload, Broadcast):
+            self.hasher.update(
+                f"b|{payload.domain!r}|{payload.msg_id}|{payload.ring_index}|".encode()
+            )
+            self.hasher.update(payload.wire)
+        else:
+            self.hasher.update(repr(payload).encode())
+        super().unicast(src, dst, payload, size_bytes)
+
+
+def run_fingerprint(backend: str) -> str:
+    config = RacConfig.small(trace=True, key_backend=backend)
+    system = _RecordingSystem(config, seed=1234)
+    count = 10 if backend == "sim" else 6
+    nodes = system.bootstrap(count)
+    system.run(1.0)
+    system.send(nodes[0], nodes[count // 2], b"determinism ping")
+    system.send(nodes[1], nodes[count - 1], b"determinism pong")
+    system.run(4.0)
+
+    hasher = system.hasher
+    for event in system.tracer:
+        hasher.update(
+            f"t|{event.time!r}|{event.kind}|{event.node}|{sorted(event.detail.items())!r}|".encode()
+        )
+    for node_id in sorted(system.nodes):
+        for payload in system.nodes[node_id].delivered:
+            hasher.update(f"d|{node_id}|".encode())
+            hasher.update(payload)
+    hasher.update(f"end|{system.now!r}|{system.sim.events_processed}".encode())
+    return hasher.hexdigest()
+
+
+def test_sim_backend_run_is_byte_identical_to_seed():
+    assert run_fingerprint("sim") == EXPECTED_SIM
+
+
+def test_dh_backend_run_is_byte_identical_to_seed():
+    assert run_fingerprint("dh") == EXPECTED_DH
+
+
+def test_fingerprint_is_stable_across_runs():
+    assert run_fingerprint("sim") == run_fingerprint("sim")

@@ -129,3 +129,49 @@ class TestIntrospection:
 
     def test_step_returns_false_when_idle(self):
         assert Simulator().step() is False
+
+
+class TestCancellationAccounting:
+    def test_cancel_counts_and_is_idempotent(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        ev.cancel()
+        ev.cancel()  # idempotent: must not double-count
+        assert sim.events_cancelled == 1
+        sim.run()
+        assert sim.events_processed == 0
+
+    def test_compaction_evicts_dead_entries(self):
+        sim = Simulator()
+        keep = [sim.schedule(100.0 + i, lambda: None) for i in range(10)]
+        dead = [sim.schedule(50.0 + i, lambda: None) for i in range(500)]
+        for ev in dead:
+            ev.cancel()
+        # Cancelling a majority of a big-enough queue triggers compaction.
+        # Compaction is amortised, so a sub-threshold residue of dead
+        # entries may linger — but the bulk must be gone.
+        assert sim.queue_compactions >= 1
+        assert len(keep) <= sim.pending_events() <= len(keep) + 2 * 64
+        assert sim.events_cancelled == len(dead)
+        sim.run()
+        assert sim.events_processed == len(keep)
+
+    def test_compaction_preserves_order(self):
+        sim = Simulator()
+        fired = []
+        for i in range(200):
+            sim.schedule(float(i), fired.append, i)
+        victims = [sim.schedule(1000.0, lambda: None) for _ in range(300)]
+        for ev in victims:
+            ev.cancel()
+        sim.run()
+        assert fired == list(range(200))
+
+    def test_small_queues_are_never_compacted(self):
+        sim = Simulator()
+        evs = [sim.schedule(float(i), lambda: None) for i in range(10)]
+        for ev in evs:
+            ev.cancel()
+        assert sim.queue_compactions == 0
+        sim.run()
+        assert sim.events_processed == 0

@@ -287,3 +287,62 @@ class TestEvictionCleanup:
         node.rate_monitor.track(3, 0.0)
         node.on_evicted(3)
         assert 3 not in node.rate_monitor.tracked()
+
+
+class TestPeelDeduplication:
+    def test_repeated_opaque_peel_is_skipped(self):
+        node, env = make_node()
+        from repro.core.onion import build_noise, unwrap_wire
+        from repro.crypto.hashes import message_id
+
+        wire = build_noise(2048, random.Random(1))
+        msg_id = message_id(unwrap_wire(wire))
+        domain = group_domain(1)
+        node._try_peel(domain, wire, msg_id)
+        assert env.stats.value("peel_skipped_duplicate") == 0
+        node._try_peel(domain, wire, msg_id)
+        node._try_peel(domain, wire, msg_id)
+        assert env.stats.value("peel_skipped_duplicate") == 2
+
+    def test_deliverable_peels_are_never_cached(self):
+        # Only *opaque* outcomes may be memoised: relay/deliver peels
+        # consume RNG (re-padding) and have side effects.
+        node, env = make_node()
+        from repro.core.onion import build_onion, unwrap_wire
+        from repro.crypto.hashes import message_id
+
+        onion = build_onion(
+            b"hello",
+            [env.keys[2].public],
+            node.pseudonym_keypair.public,
+            node.config.message_size,
+            rng=random.Random(5),
+        )
+        relay_result = env.keys[2].unseal(unwrap_wire(onion.first_wire))
+        # Extract the inner blob addressed to node 1's pseudonym key.
+        from repro.core import onion as onion_mod
+
+        parsed = onion_mod._parse_relay_layer(
+            relay_result, node.config.message_size, random.Random(6)
+        )
+        wire = parsed.inner_wire
+        msg_id = parsed.inner_msg_id
+        domain = group_domain(1)
+        node._try_peel(domain, wire, msg_id)
+        node._try_peel(domain, wire, msg_id)
+        assert len(node.delivered) == 2
+        assert env.stats.value("peel_skipped_duplicate") == 0
+
+    def test_opaque_cache_cleared_by_gc(self):
+        node, env = make_node()
+        from repro.core.onion import build_noise, unwrap_wire
+        from repro.crypto.hashes import message_id
+
+        wire = build_noise(2048, random.Random(1))
+        msg_id = message_id(unwrap_wire(wire))
+        node._try_peel(group_domain(1), wire, msg_id)
+        assert node._opaque_peels
+        env.now += 10_000.0
+        node._ticks_since_gc = node.config.state_gc_ticks - 1  # due next tick
+        node._maybe_collect_garbage()
+        assert not node._opaque_peels
