@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-baseline ci-bench-smoke report examples ci clean
+.PHONY: install test bench bench-baseline ci-bench-smoke sweep-smoke report examples ci clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -23,12 +23,23 @@ bench-baseline:  # refresh BENCH_protocol.json without the pytest benches
 ci-bench-smoke:  # fail if seal/peel throughput regressed >2x vs BENCH_protocol.json
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_smoke.py -q
 
+sweep-smoke:  # 2x2 sweep on 2 workers with one injected crash; must recover
+	rm -rf results/sweep_smoke
+	PYTHONPATH=src $(PYTHON) -m repro sweep run --run-dir results/sweep_smoke \
+		--experiment protocol --axis nodes=4,6 --seeds 0,1 \
+		--base duration=1.0 --base messages=1 \
+		--workers 2 --checkpoint-interval 0.5 --inject-crash 1
+	PYTHONPATH=src $(PYTHON) -m repro sweep status --run-dir results/sweep_smoke
+	PYTHONPATH=src $(PYTHON) -m repro sweep aggregate --run-dir results/sweep_smoke \
+		--metric events_processed --by nodes
+
 report:
 	$(PYTHON) -m repro report --output results/full_report.txt
 
 ci:  # what .github/workflows/ci.yml runs
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	$(PYTHON) experiments/fault_sweep.py --smoke
+	$(MAKE) sweep-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_smoke.py -q
 
 examples:

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Measure the sweep orchestrator's parallel speedup over serial.
+
+Runs the same (config × seed) protocol grid twice — once inline in
+this process, once fanned out over a worker pool — and reports
+wall-clock times plus the speedup ratio. The acceptance target from
+the orchestrator issue: ≥ 2× with 4 workers on a grid of ≥ 8 cells
+(requires ≥ 4 physical cores; on fewer cores the harness still
+verifies that both paths produce identical metrics, which is the
+correctness half of the claim).
+
+Run ``python experiments/sweep_scaling.py`` (results land in
+``results/sweep_scaling.txt``), or ``--smoke`` for a 4-cell grid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.runner import Table  # noqa: E402
+from repro.orchestrator import (  # noqa: E402
+    ResultStore,
+    SweepGrid,
+    SweepOrchestrator,
+    run_grid_inline,
+)
+
+
+def build_grid(smoke: bool) -> SweepGrid:
+    axes = {"nodes": [4, 6]} if smoke else {"nodes": [4, 6, 8, 10]}
+    seeds = (0, 1) if smoke else (0, 1)
+    return SweepGrid(
+        "protocol", axes, seeds=seeds, base_params={"duration": 2.0, "messages": 1}
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--smoke", action="store_true", help="4-cell grid instead of 8")
+    parser.add_argument("--output", default=str(REPO_ROOT / "results" / "sweep_scaling.txt"))
+    args = parser.parse_args()
+
+    grid = build_grid(args.smoke)
+    cores = os.cpu_count() or 1
+
+    start = time.perf_counter()
+    serial_store = run_grid_inline(grid)
+    serial_s = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory(prefix="sweep-scaling-") as run_dir:
+        parallel_store = ResultStore(os.path.join(run_dir, "results.jsonl"))
+        orchestrator = SweepOrchestrator(
+            grid, parallel_store, run_dir, workers=args.workers
+        )
+        start = time.perf_counter()
+        status = orchestrator.run()
+        parallel_s = time.perf_counter() - start
+
+    if not status.done or status.failed:
+        print(f"parallel sweep did not complete cleanly: {status.render()}", file=sys.stderr)
+        return 1
+
+    serial_latest = serial_store.latest()
+    parallel_latest = parallel_store.latest()
+    identical = set(serial_latest) == set(parallel_latest) and all(
+        json.dumps(serial_latest[c].metrics, sort_keys=True)
+        == json.dumps(parallel_latest[c].metrics, sort_keys=True)
+        for c in serial_latest
+    )
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    table = Table(
+        headers=["cells", "workers", "cores", "serial s", "parallel s", "speedup", "identical"],
+        title="Sweep orchestrator scaling (serial vs worker pool)",
+    )
+    table.add_row(
+        len(grid),
+        args.workers,
+        cores,
+        f"{serial_s:.2f}",
+        f"{parallel_s:.2f}",
+        f"{speedup:.2f}x",
+        "yes" if identical else "NO",
+    )
+    body = table.render()
+    if cores < args.workers:
+        body += (
+            f"\n(only {cores} core(s) visible: speedup is core-bound; "
+            "the >=2x acceptance point needs >=4 cores)"
+        )
+    print(body)
+    Path(args.output).parent.mkdir(parents=True, exist_ok=True)
+    Path(args.output).write_text(body + "\n")
+
+    if not identical:
+        print("serial and parallel sweeps disagree on metrics", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

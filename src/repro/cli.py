@@ -65,6 +65,62 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", default=None, help="also write the report to this file")
     report.add_argument("--no-ablations", action="store_true")
 
+    sweep = sub.add_parser(
+        "sweep", help="parallel (config x seed) sweep campaigns with checkpoint/resume"
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    run = sweep_sub.add_parser("run", help="launch a new sweep campaign")
+    run.add_argument("--run-dir", required=True, help="campaign directory (manifest, store, checkpoints)")
+    run.add_argument("--experiment", required=True, help="registered workload name (e.g. protocol)")
+    run.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="NAME=V1,V2,...",
+        help="swept parameter axis; repeatable",
+    )
+    run.add_argument("--seeds", default="0", help="comma-separated seed list (default: 0)")
+    run.add_argument(
+        "--base",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="constant parameter shared by every cell; repeatable",
+    )
+    run.add_argument("--workers", type=int, default=2, help="worker processes (default 2)")
+    run.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=None,
+        metavar="SIM_SECONDS",
+        help="snapshot long runs every N sim-seconds (default: off)",
+    )
+    run.add_argument("--max-retries", type=int, default=2, help="extra attempts per crashed cell")
+    run.add_argument(
+        "--timeout", type=float, default=None, help="wall-seconds before a worker counts as hung"
+    )
+    run.add_argument("--serial", action="store_true", help="run in-process without the worker pool")
+    run.add_argument(
+        "--inject-crash",
+        type=int,
+        default=0,
+        metavar="K",
+        help="chaos-test: kill the first attempt of the first K cells",
+    )
+
+    resume = sweep_sub.add_parser("resume", help="continue an interrupted campaign")
+    resume.add_argument("--run-dir", required=True)
+    resume.add_argument("--workers", type=int, default=None, help="override manifest worker count")
+
+    status = sweep_sub.add_parser("status", help="progress of a campaign")
+    status.add_argument("--run-dir", required=True)
+
+    aggregate = sweep_sub.add_parser("aggregate", help="summarize a campaign's result store")
+    aggregate.add_argument("--run-dir", required=True)
+    aggregate.add_argument("--metric", required=True, help="metric name to aggregate")
+    aggregate.add_argument("--by", default="seed", help="group rows by this parameter (default: seed)")
+
     return parser
 
 
@@ -151,6 +207,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(write_report(args.output, include_ablations=not args.no_ablations))
         else:
             print(full_report(include_ablations=not args.no_ablations))
+    elif args.command == "sweep":
+        return _dispatch_sweep(args)
     elif args.command == "measure":
         from .experiments.empirical import measure_rac_throughput
 
@@ -162,6 +220,124 @@ def _dispatch(args: argparse.Namespace) -> int:
             f"model {m.model_bps_per_node:,.0f} b/s, efficiency {m.efficiency:.2f}, "
             f"{m.deliveries} deliveries, {m.evictions} evictions"
         )
+    return 0
+
+
+def _parse_scalar(text: str):
+    """CLI value → int, then float, then bare string."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_kv(pairs: "List[str]", split_values: bool) -> dict:
+    out = {}
+    for pair in pairs:
+        name, sep, raw = pair.partition("=")
+        if not sep or not name:
+            raise SystemExit(f"expected NAME=VALUE, got {pair!r}")
+        if split_values:
+            out[name] = [_parse_scalar(v) for v in raw.split(",") if v != ""]
+        else:
+            out[name] = _parse_scalar(raw)
+    return out
+
+
+def _dispatch_sweep(args: argparse.Namespace) -> int:
+    import os
+
+    from .orchestrator import ResultStore, SweepGrid, SweepOrchestrator, run_grid_inline
+    from .orchestrator.pool import STORE_NAME, load_manifest, write_manifest
+
+    if args.sweep_command == "run":
+        axes = _parse_kv(args.axis, split_values=True)
+        if not axes:
+            raise SystemExit("sweep run needs at least one --axis NAME=V1,V2,...")
+        grid = SweepGrid(
+            args.experiment,
+            axes,
+            seeds=[int(s) for s in args.seeds.split(",") if s != ""],
+            base_params=_parse_kv(args.base, split_values=False),
+        )
+        options = {
+            "workers": args.workers,
+            "checkpoint_interval": args.checkpoint_interval,
+            "max_retries": args.max_retries,
+            "timeout": args.timeout,
+        }
+        write_manifest(args.run_dir, grid, options)
+        store = ResultStore(os.path.join(args.run_dir, STORE_NAME))
+        if args.serial:
+            run_grid_inline(grid, store)
+            done = len(store.completed_ids() & {c.cell_id for c in grid.cells()})
+            print(f"{done}/{len(grid)} cells ok (serial)")
+            return 0 if done == len(grid) else 1
+        inject = {c.cell_id for c in grid.cells()[: args.inject_crash]}
+        orchestrator = SweepOrchestrator(
+            grid,
+            store,
+            args.run_dir,
+            workers=args.workers,
+            checkpoint_interval=args.checkpoint_interval,
+            max_retries=args.max_retries,
+            worker_timeout=args.timeout,
+            inject_crash_cells=inject,
+        )
+        final = orchestrator.run()
+        print(final.render())
+        return 0 if final.failed == 0 else 1
+    elif args.sweep_command == "resume":
+        grid, options = load_manifest(args.run_dir)
+        store = ResultStore(os.path.join(args.run_dir, STORE_NAME))
+        orchestrator = SweepOrchestrator(
+            grid,
+            store,
+            args.run_dir,
+            workers=args.workers or options.get("workers") or 2,
+            checkpoint_interval=options.get("checkpoint_interval"),
+            max_retries=options.get("max_retries", 2),
+            worker_timeout=options.get("timeout"),
+        )
+        final = orchestrator.run()
+        print(final.render())
+        return 0 if final.failed == 0 else 1
+    elif args.sweep_command == "status":
+        grid, _ = load_manifest(args.run_dir)
+        store = ResultStore(os.path.join(args.run_dir, STORE_NAME))
+        completed = store.completed_ids()
+        failed = store.failed_ids()
+        cells = grid.cells()
+        done = sum(1 for c in cells if c.cell_id in completed)
+        bad = sum(1 for c in cells if c.cell_id in failed and c.cell_id not in completed)
+        print(
+            f"{done}/{len(cells)} cells ok, {bad} failed, {len(cells) - done} pending"
+        )
+        return 0
+    elif args.sweep_command == "aggregate":
+        from .experiments.runner import Table
+
+        store = ResultStore(os.path.join(args.run_dir, STORE_NAME))
+        rows = store.aggregate(args.metric, by=args.by)
+        if not rows:
+            print(f"no successful records with metric {args.metric!r}")
+            return 1
+        table = Table(
+            headers=[args.by, "n", "mean", "min", "max"],
+            title=f"sweep aggregate: {args.metric} by {args.by}",
+        )
+        for row in rows:
+            table.add_row(
+                row[args.by],
+                row["n"],
+                f"{row['mean']:.6g}",
+                f"{row['min']:.6g}",
+                f"{row['max']:.6g}",
+            )
+        print(table.render())
+        return 0
     return 0
 
 

@@ -12,10 +12,34 @@ Sub-modules:
 """
 
 from .hashes import message_id, oneway_f, oneway_g, ring_position, sha256_int, truncated_bits
-from .keys import AuthenticationError, KeyPair, PublicKey, seal, sealed_overhead
+from .keys import AuthenticationError, KeyPair, PublicKey, clear_kem_cache, seal, sealed_overhead
 from .shuffle import DishonestParticipant, ShuffleParticipant, ShuffleResult, run_shuffle
+from . import keys as _keys
+from . import stream as _stream
+
+
+def clear_process_caches() -> None:
+    """Reset every module-level crypto cache in this process.
+
+    The KEM shared-secret LRU and the ``lru_cache``'d derivations
+    (:func:`repro.crypto.stream._split_key`,
+    :func:`repro.crypto.keys._sim_symmetric_key`,
+    :func:`repro.crypto.hashes.ring_position`) are pure-function caches,
+    so they never change results — but a sweep worker that executes many
+    runs back to back would (a) grow them without bound across runs and
+    (b) inherit a fork-parent's warm cache, making per-run memory and
+    timing depend on sibling runs. Worker-run boundaries call this to
+    keep every run cold-started and memory-bounded.
+    """
+    clear_kem_cache()
+    _stream._split_key.cache_clear()
+    _keys._sim_symmetric_key.cache_clear()
+    ring_position.cache_clear()
+
 
 __all__ = [
+    "clear_kem_cache",
+    "clear_process_caches",
     "message_id",
     "oneway_f",
     "oneway_g",

@@ -1,0 +1,139 @@
+"""Sweep grids: the (config × seed) cell space of one campaign.
+
+A *cell* is the atom of sweep work: one experiment name, one parameter
+assignment, one seed. Cells are content-addressed — ``cell_id`` is a
+hash of the canonical JSON of ``(experiment, params, seed)`` — so a
+result store can tell "this exact cell already ran" across process
+boundaries, interrupted sweeps and re-built grids. That id stability
+is what makes ``repro sweep resume`` exactly-once: any reordering of
+the grid axes or re-parsing of the manifest regenerates identical ids.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+__all__ = ["SweepCell", "SweepGrid", "config_hash", "canonical_json"]
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, no NaN."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def config_hash(params: Mapping[str, Any]) -> str:
+    """Stable 16-hex-digit digest of one parameter assignment."""
+    return hashlib.sha256(canonical_json(dict(params)).encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One unit of sweep work: experiment × params × seed."""
+
+    experiment: str
+    params: Tuple[Tuple[str, Any], ...]  # sorted (key, value) pairs
+    seed: int
+
+    @staticmethod
+    def make(experiment: str, params: Mapping[str, Any], seed: int) -> "SweepCell":
+        frozen = tuple(sorted((k, _freeze(v)) for k, v in params.items()))
+        return SweepCell(experiment, frozen, seed)
+
+    @property
+    def params_dict(self) -> Dict[str, Any]:
+        return {k: v for k, v in self.params}
+
+    @property
+    def config_hash(self) -> str:
+        return config_hash(self.params_dict)
+
+    @property
+    def cell_id(self) -> str:
+        body = canonical_json(
+            {"experiment": self.experiment, "params": self.params_dict, "seed": self.seed}
+        )
+        return hashlib.sha256(body.encode()).hexdigest()[:16]
+
+    def describe(self) -> str:
+        kv = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.experiment}[{kv}]#s{self.seed}"
+
+
+def _freeze(value: Any) -> Any:
+    """Reject parameter values that cannot round-trip through JSON."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if not isinstance(value, (int, float, str, bool, type(None))):
+        raise TypeError(f"sweep params must be JSON scalars or lists, not {type(value).__name__}")
+    return value
+
+
+class SweepGrid:
+    """The cartesian product of parameter axes, crossed with seeds.
+
+    ``axes`` maps a parameter name to the values it sweeps over;
+    ``base_params`` are constants shared by every cell. Cell order is
+    deterministic: axes in sorted-name order, values in the given
+    order, seeds innermost — so two processes building the same grid
+    enumerate identical cell sequences.
+    """
+
+    def __init__(
+        self,
+        experiment: str,
+        axes: "Mapping[str, Sequence[Any]]",
+        seeds: "Iterable[int]" = (0,),
+        base_params: "Mapping[str, Any] | None" = None,
+    ) -> None:
+        if not experiment:
+            raise ValueError("the grid needs an experiment name")
+        self.experiment = experiment
+        self.axes = {name: list(values) for name, values in sorted(axes.items())}
+        for name, values in self.axes.items():
+            if not values:
+                raise ValueError(f"axis {name!r} has no values")
+        self.seeds = list(seeds)
+        if not self.seeds:
+            raise ValueError("the grid needs at least one seed")
+        self.base_params = dict(base_params or {})
+        overlap = set(self.base_params) & set(self.axes)
+        if overlap:
+            raise ValueError(f"params cannot be both base and axis: {sorted(overlap)}")
+
+    def cells(self) -> "List[SweepCell]":
+        names = list(self.axes)
+        out: List[SweepCell] = []
+        for combo in itertools.product(*(self.axes[n] for n in names)):
+            params = dict(self.base_params)
+            params.update(zip(names, combo))
+            for seed in self.seeds:
+                out.append(SweepCell.make(self.experiment, params, seed))
+        return out
+
+    def __len__(self) -> int:
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total * len(self.seeds)
+
+    # -- manifest round-trip (repro sweep resume/status) ---------------------
+    def to_spec(self) -> Dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "axes": self.axes,
+            "seeds": self.seeds,
+            "base_params": self.base_params,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Any]) -> "SweepGrid":
+        return cls(
+            experiment=spec["experiment"],
+            axes=spec["axes"],
+            seeds=spec["seeds"],
+            base_params=spec.get("base_params"),
+        )

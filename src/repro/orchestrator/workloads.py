@@ -1,0 +1,256 @@
+"""Sweepable experiment workloads.
+
+A *workload* is a function ``fn(params, seed, ctx) -> metrics`` taking
+one grid cell's parameter dict and seed, plus a :class:`WorkerContext`
+that provides checkpointing and (test-only) fault injection. Metrics
+must be a flat ``name -> number`` dict; the reserved key
+``"sim_time_s"`` is lifted into the result record's own field.
+
+Workload functions run inside pool worker *processes*; they must be
+importable module-level callables (the pool ships them by name, never
+by pickling closures) and deterministic in ``(params, seed)``: a
+crashed worker is retried and a checkpointed run is resumed, and both
+recovery paths assume re-execution converges on the same numbers.
+
+The ``protocol`` workload is the flagship: a packet-level
+:class:`~repro.core.system.RacSystem` run that snapshots itself every
+``ctx.checkpoint_interval`` sim-seconds via
+:mod:`repro.simnet.snapshot`, so a SIGKILLed worker resumes mid-run
+instead of starting over. The ``fig1_point`` / ``fig3_point`` /
+``comparison_point`` workloads evaluate the analytic models one system
+size at a time — the figure modules route their sweeps through the
+same grid + store machinery as full campaigns.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..simnet.snapshot import load_snapshot, save_snapshot
+
+__all__ = ["WORKLOADS", "WorkerContext", "workload", "reset_worker_caches", "CRASH_EXIT_CODE"]
+
+#: Exit code of an *injected* worker crash (tests / `make sweep-smoke`);
+#: distinguishable from ordinary failures in pool logs.
+CRASH_EXIT_CODE = 73
+
+WORKLOADS: "Dict[str, Callable[[Dict[str, Any], int, WorkerContext], Dict[str, float]]]" = {}
+
+
+def workload(name: str):
+    """Register a sweepable experiment under ``name``."""
+
+    def register(fn):
+        if name in WORKLOADS:
+            raise ValueError(f"workload {name!r} is already registered")
+        WORKLOADS[name] = fn
+        return fn
+
+    return register
+
+
+def reset_worker_caches() -> None:
+    """Reset per-process caches at a worker-run boundary.
+
+    Sweep workers execute many runs back to back (and inherit a warm
+    parent image under fork-start multiprocessing); clearing the crypto
+    KEM/derivation caches keeps each run deterministic in isolation and
+    bounds worker memory across a long campaign.
+    """
+    from .. import crypto
+
+    crypto.clear_process_caches()
+
+
+@dataclass
+class WorkerContext:
+    """Checkpointing and fault-injection services for one cell attempt."""
+
+    checkpoint_path: "Optional[str]" = None
+    #: Sim-seconds between checkpoints; None/0 disables checkpointing.
+    checkpoint_interval: "Optional[float]" = None
+    attempt: int = 0
+    #: Test-only chaos: the workload's ``maybe_crash()`` hard-exits the
+    #: worker process once, exercising the retry/resume machinery.
+    inject_crash: bool = False
+    #: Run the byte-equality round-trip check on every checkpoint.
+    verify_snapshots: bool = False
+    checkpoints_written: int = field(default=0, init=False)
+
+    def checkpoint(self, system: Any, progress: "Dict[str, Any]") -> None:
+        """Persist ``(system, progress)`` atomically; a crash between
+        two checkpoints costs at most one interval of re-simulation."""
+        if self.checkpoint_path is None:
+            return
+        save_snapshot((system, progress), self.checkpoint_path, verify=self.verify_snapshots)
+        self.checkpoints_written += 1
+
+    def load_checkpoint(self) -> "Optional[Tuple[Any, Dict[str, Any]]]":
+        if self.checkpoint_path is None or not os.path.exists(self.checkpoint_path):
+            return None
+        return load_snapshot(self.checkpoint_path)
+
+    def clear_checkpoint(self) -> None:
+        if self.checkpoint_path is not None and os.path.exists(self.checkpoint_path):
+            os.remove(self.checkpoint_path)
+
+    def maybe_crash(self) -> None:
+        """Die here if this attempt carries an injected crash."""
+        if self.inject_crash:
+            # A real SIGKILL victim gets no cleanup either; flush
+            # nothing, skip atexit, vanish mid-run.
+            os._exit(CRASH_EXIT_CODE)
+
+
+# ---------------------------------------------------------------------------
+# packet-level protocol run (checkpointable)
+# ---------------------------------------------------------------------------
+
+#: RacConfig overrides a ``protocol`` cell may carry.
+_CONFIG_KEYS = (
+    "num_relays",
+    "num_rings",
+    "message_size",
+    "send_interval",
+    "link_bandwidth_bps",
+    "link_loss_rate",
+    "relay_timeout",
+    "predecessor_timeout",
+    "rate_window",
+    "blacklist_period",
+    "key_backend",
+    "propagation_jitter",
+)
+
+
+@workload("protocol")
+def protocol_run(params: "Dict[str, Any]", seed: int, ctx: WorkerContext) -> "Dict[str, float]":
+    """End-to-end RAC run: N nodes, ring traffic, full stats report.
+
+    Parameters: ``nodes`` (population), ``duration`` (sim-seconds),
+    ``messages`` (anonymous messages each node queues to its ring
+    successor), plus any :data:`_CONFIG_KEYS` RacConfig override.
+
+    The run advances in checkpoint-interval chunks; each chunk boundary
+    snapshots ``(system, progress)``, so an interrupted attempt resumes
+    exactly where the last snapshot stood — the chunk schedule is
+    deterministic, which makes the resumed run replay the uninterrupted
+    one byte for byte.
+    """
+    from ..core.config import RacConfig
+    from ..core.system import RacSystem
+
+    duration = float(params.get("duration", 4.0))
+    resumed = ctx.load_checkpoint()
+    if resumed is not None:
+        system, progress = resumed
+    else:
+        overrides = {k: params[k] for k in _CONFIG_KEYS if k in params}
+        config = RacConfig.small(**overrides)
+        system = RacSystem(config, seed=seed)
+        node_ids = system.bootstrap(int(params.get("nodes", 8)))
+        per_node = int(params.get("messages", 2))
+        for index, src in enumerate(node_ids):
+            dst = node_ids[(index + 1) % len(node_ids)]
+            for m in range(per_node):
+                system.send(src, dst, f"sweep/{seed}/{index}/{m}".encode())
+        progress = {"t_done": 0.0}
+
+    first_chunk = True
+    while progress["t_done"] < duration - 1e-12:
+        chunk = duration - progress["t_done"]
+        if ctx.checkpoint_interval:
+            chunk = min(chunk, float(ctx.checkpoint_interval))
+        system.run(chunk)
+        progress["t_done"] += chunk
+        if progress["t_done"] < duration - 1e-12:
+            ctx.checkpoint(system, progress)
+        if first_chunk:
+            first_chunk = False
+            ctx.maybe_crash()
+
+    report = system.stats_report()
+    deliveries = sum(len(node.delivered) for node in system.nodes.values())
+    metrics: Dict[str, float] = {
+        "sim_time_s": system.now,
+        "deliveries": float(deliveries),
+        "delivered_bytes": float(system.global_meter.total_bytes),
+        "throughput_bps": system.global_meter.throughput_bps(end=system.now),
+        "latency_mean_s": system.latency_meter.mean(),
+        "evictions": float(len(system.evicted)),
+        "events_processed": float(system.sim.events_processed),
+        "net_packets_delivered": float(report["net_packets_delivered"]),
+        "net_packets_dropped": float(report["net_packets_dropped"]),
+        "transport_retransmits": float(report.get("transport_retransmits", 0)),
+    }
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# analytic model points (the figure sweeps)
+# ---------------------------------------------------------------------------
+
+
+@workload("fig1_point")
+def fig1_point(params: "Dict[str, Any]", seed: int, ctx: WorkerContext) -> "Dict[str, float]":
+    """One Figure 1 x-point: Dissent v1/v2 throughput at N nodes."""
+    from ..analysis.costs import optimal_server_count
+    from ..analysis.throughput import GBPS, dissent_v1_throughput, dissent_v2_throughput
+
+    n = int(params["nodes"])
+    link_bps = float(params.get("link_bps", GBPS))
+    return {
+        "dissent_v1_bps": dissent_v1_throughput(n, link_bps),
+        "dissent_v2_bps": dissent_v2_throughput(n, link_bps),
+        "servers": float(optimal_server_count(n)),
+    }
+
+
+@workload("fig3_point")
+def fig3_point(params: "Dict[str, Any]", seed: int, ctx: WorkerContext) -> "Dict[str, float]":
+    """One Figure 3 x-point: RAC and baseline throughput at N nodes."""
+    from ..analysis.throughput import (
+        GBPS,
+        dissent_v1_throughput,
+        dissent_v2_throughput,
+        rac_nogroup_throughput,
+        rac_throughput,
+    )
+
+    n = int(params["nodes"])
+    link_bps = float(params.get("link_bps", GBPS))
+    G = int(params.get("group_size", 1000))
+    L = int(params.get("num_relays", 5))
+    R = int(params.get("num_rings", 7))
+    return {
+        "rac_nogroup_bps": rac_nogroup_throughput(n, link_bps, L, R),
+        "rac_grouped_bps": rac_throughput(n, link_bps, G, L, R),
+        "dissent_v1_bps": dissent_v1_throughput(n, link_bps),
+        "dissent_v2_bps": dissent_v2_throughput(n, link_bps),
+    }
+
+
+@workload("comparison_point")
+def comparison_point(params: "Dict[str, Any]", seed: int, ctx: WorkerContext) -> "Dict[str, float]":
+    """One Section III cost-model row: message copies at N nodes."""
+    from ..analysis.costs import (
+        dissent_v1_cost,
+        dissent_v2_cost,
+        onion_routing_cost,
+        optimal_server_count,
+        rac_cost,
+    )
+
+    n = int(params["nodes"])
+    G = int(params.get("group_size", 1000))
+    L = int(params.get("num_relays", 5))
+    R = int(params.get("num_rings", 7))
+    return {
+        "onion_copies": onion_routing_cost(L).total_copies(),
+        "dissent_v1_copies": dissent_v1_cost(n).total_copies(),
+        "dissent_v2_copies": dissent_v2_cost(n).total_copies(),
+        "rac_grouped_copies": rac_cost(n, G, L, R).total_copies(),
+        "servers": float(optimal_server_count(n)),
+    }

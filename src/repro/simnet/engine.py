@@ -88,6 +88,26 @@ class Simulator:
         self.queue_compactions = 0
         self._cancelled_pending = 0
 
+    # -- snapshot hooks (repro.simnet.snapshot) ------------------------------
+    #
+    # ``itertools.count`` cannot be pickled, so the sequence counter is
+    # exported as its next value and rebuilt on both sides: the live
+    # simulator keeps ticking from the same value it would have used,
+    # and the restored one resumes at exactly that value — the ``(time,
+    # seq)`` replay order is therefore identical whether or not a run
+    # was snapshotted in the middle.
+    def __getstate__(self) -> dict:
+        seq_next = next(self._seq)
+        self._seq = itertools.count(seq_next)
+        state = self.__dict__.copy()
+        state["_seq"] = seq_next
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        state = dict(state)
+        state["_seq"] = itertools.count(state["_seq"])
+        self.__dict__.update(state)
+
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> ScheduledEvent:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:

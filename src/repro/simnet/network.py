@@ -86,17 +86,20 @@ class Link:
         busy = min(self.busy_until, self.sim.now)
         return min(1.0, (self.bytes_carried * 8 / self.bandwidth_bps) / self.sim.now) if busy else 0.0
 
-    def enqueue(self, size_bytes: int, deliver: Callable[[], None]) -> float:
-        """Schedule ``deliver`` for when the last byte leaves the link.
+    def enqueue(self, size_bytes: int, deliver: Callable[..., None], *args: Any) -> float:
+        """Schedule ``deliver(*args)`` for when the last byte leaves the
+        link.
 
-        Returns the departure time.
+        Returns the departure time. ``deliver`` should be a bound method
+        (not a closure) so that snapshots of a mid-transfer simulation
+        stay picklable (see :mod:`repro.simnet.snapshot`).
         """
         start = max(self.sim.now, self.busy_until)
         departure = start + self.transmission_time(size_bytes)
         self.busy_until = departure
         self.bytes_carried += size_bytes
         self.packets_carried += 1
-        self.sim.schedule_at(departure, deliver)
+        self.sim.schedule_at(departure, deliver, *args)
         return departure
 
     def queue_delay(self) -> float:
@@ -196,7 +199,7 @@ class StarNetwork:
         if uplink is None:
             raise SimulationError(f"node {src} is not attached and cannot send")
         packet = Packet(src, dst, payload, size_bytes, sent_at=self.sim.now)
-        uplink.enqueue(size_bytes, lambda: self._at_router(packet))
+        uplink.enqueue(size_bytes, self._at_router, packet)
 
     def _drop(self, packet: Packet, reason: str) -> None:
         self.packets_dropped += 1
@@ -217,10 +220,14 @@ class StarNetwork:
         delay = self.propagation_delay
         if self.propagation_jitter:
             delay += self._jitter_rng.uniform(0, self.propagation_jitter)
-        self.sim.schedule(
-            delay,
-            lambda: downlink.enqueue(packet.size_bytes, lambda: self._deliver(packet)),
-        )
+        # The downlink is captured *now* (router time): a destination
+        # that detaches during propagation still had its link absorb the
+        # transfer, and _deliver then counts the drop. Passed as an event
+        # argument rather than a closure so snapshots stay picklable.
+        self.sim.schedule(delay, self._enqueue_downlink, downlink, packet)
+
+    def _enqueue_downlink(self, downlink: Link, packet: Packet) -> None:
+        downlink.enqueue(packet.size_bytes, self._deliver, packet)
 
     def _deliver(self, packet: Packet) -> None:
         handler = self._handlers.get(packet.dst)

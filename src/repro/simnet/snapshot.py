@@ -1,0 +1,167 @@
+"""Deterministic snapshot/restore of a running simulation.
+
+The sweep orchestrator (:mod:`repro.orchestrator`) checkpoints long
+runs so that a killed worker can resume instead of starting over. That
+only works if a restored :class:`~repro.core.system.RacSystem` replays
+*exactly* the run the original would have produced — same event order,
+same RNG draws, same wire bytes. This module provides that guarantee
+on top of :mod:`pickle`:
+
+* Everything reachable from a ``RacSystem`` is plain data, ``random.Random``
+  instances (whose Mersenne state pickles exactly) or bound methods of
+  picklable objects. The two constructs pickle cannot handle were
+  removed at the source: :class:`~repro.simnet.engine.Simulator`
+  exports its ``itertools.count`` sequence counter as an integer
+  (``__getstate__``/``__setstate__``), and
+  :class:`~repro.simnet.network.StarNetwork` schedules bound methods
+  with explicit arguments instead of closures.
+
+* ``set``/``frozenset`` iteration order depends on each table's private
+  insertion history, so a naively re-pickled restore is not guaranteed
+  to be byte-identical to its own snapshot. The snapshot pickler
+  therefore reduces every set to a canonically ordered list (sorted by
+  ``repr``, which totally orders the mixed int/str/tuple keys the
+  protocol uses), making ``snapshot → restore → snapshot`` a byte
+  fixed-point — and that fixed-point is the cheap integrity check
+  :func:`snapshot_system` can run before a checkpoint is trusted.
+
+Invariants (pinned by ``tests/integration/test_determinism.py``):
+
+1. restore(snapshot(S)) continued for T sim-seconds produces the same
+   ``stats_report()``, event count and clock as S continued for T;
+2. snapshot(restore(blob)) == blob (byte equality, ``verify=True``);
+3. taking a snapshot does not perturb the live system (the continued
+   original and the restored copy stay in lock-step).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+from typing import Any, Tuple
+
+__all__ = [
+    "SnapshotError",
+    "snapshot_system",
+    "restore_system",
+    "verify_roundtrip",
+    "save_snapshot",
+    "load_snapshot",
+    "SNAPSHOT_MAGIC",
+]
+
+#: Versioned header; bump the digit when the snapshot layout changes.
+SNAPSHOT_MAGIC = b"RACSNAP/1\n"
+
+
+class SnapshotError(Exception):
+    """A snapshot could not be taken, verified or restored."""
+
+
+def _reduce_set(s: set) -> "Tuple[type, Tuple[list]]":
+    return (set, (sorted(s, key=repr),))
+
+
+def _reduce_frozenset(s: frozenset) -> "Tuple[type, Tuple[list]]":
+    return (frozenset, (sorted(s, key=repr),))
+
+
+class _SnapshotPickler(pickle._Pickler):  # noqa: SLF001 - deliberate, see below
+    """Pickler with canonical (repr-sorted) set ordering.
+
+    Deliberately the *pure-Python* pickler: only there does
+    ``reducer_override`` run before the builtin-container fast paths.
+    The C pickler consults its internal ``save_set`` first, so neither
+    a ``dispatch_table`` entry nor ``reducer_override`` could
+    canonicalize sets (they would be silently ignored). The speed
+    difference is irrelevant at checkpoint granularity.
+    """
+
+    def reducer_override(self, obj: Any):
+        cls = type(obj)
+        if cls is set:
+            return _reduce_set(obj)
+        if cls is frozenset:
+            return _reduce_frozenset(obj)
+        return NotImplemented
+
+
+def _dumps(obj: Any) -> bytes:
+    buffer = io.BytesIO()
+    _SnapshotPickler(buffer, protocol=pickle.HIGHEST_PROTOCOL).dump(obj)
+    return buffer.getvalue()
+
+
+def snapshot_system(system: Any, verify: bool = False) -> bytes:
+    """Serialize a (possibly mid-run) system to a self-contained blob.
+
+    The blob is *canonical*: a first pickle is restored in memory and
+    re-pickled, which erases identity artifacts of the live process
+    (equal strings interned into one object pickle as memo references;
+    their restored counterparts are distinct objects). One round-trip
+    reaches the byte fixed-point ``snapshot(restore(blob)) == blob``.
+
+    With ``verify=True`` that fixed-point is actually checked — a
+    failure means some new state crept in that does not round-trip
+    deterministically, and the blob must not be trusted as a checkpoint.
+    """
+    try:
+        raw = _dumps(system)
+        blob = SNAPSHOT_MAGIC + _dumps(pickle.loads(raw))
+    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+        raise SnapshotError(f"system state is not snapshot-safe: {exc}") from exc
+    if verify:
+        verify_roundtrip(blob)
+    return blob
+
+
+def restore_system(blob: bytes) -> Any:
+    """Rebuild the system a blob was taken from; it resumes where the
+    original stood, down to the pending event queue and RNG streams."""
+    if not blob.startswith(SNAPSHOT_MAGIC):
+        raise SnapshotError("not a RAC snapshot (bad magic header)")
+    try:
+        return pickle.loads(blob[len(SNAPSHOT_MAGIC):])
+    except Exception as exc:  # unpickling raises wildly varied types
+        raise SnapshotError(f"snapshot blob is corrupt: {exc}") from exc
+
+
+def verify_roundtrip(blob: bytes) -> Any:
+    """Assert the blob is a byte fixed-point; return the restored system.
+
+    ``snapshot(restore(blob)) == blob`` is the invariant: the restored
+    system re-serializes to the identical bytes, so a checkpoint chain
+    (snapshot → restore → run → snapshot → ...) cannot drift.
+    """
+    restored = restore_system(blob)
+    again = SNAPSHOT_MAGIC + _dumps(restored)
+    if again != blob:
+        raise SnapshotError(
+            "snapshot round-trip is not byte-stable "
+            f"({len(blob)} vs {len(again)} bytes) — restored runs may diverge"
+        )
+    return restored
+
+
+def save_snapshot(system: Any, path: str, verify: bool = False) -> int:
+    """Atomically write a snapshot file (tmp + rename); returns its size.
+
+    The rename is what makes checkpointing crash-safe: a worker killed
+    mid-write leaves the previous checkpoint intact, never a torn file.
+    """
+    blob = snapshot_system(system, verify=verify)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as fh:
+        fh.write(blob)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return len(blob)
+
+
+def load_snapshot(path: str) -> Any:
+    """Restore a system from a snapshot file written by :func:`save_snapshot`."""
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    return restore_system(blob)

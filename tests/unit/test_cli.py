@@ -54,3 +54,67 @@ class TestCommands:
     def test_trace(self, capsys):
         assert main(["trace", "--population", "8", "--seed", "7"]) == 0
         assert "Step 3" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_run_requires_an_axis(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "run", "--run-dir", "/tmp/x", "--experiment", "protocol"])
+
+    def test_serial_run_status_aggregate(self, tmp_path, capsys):
+        run_dir = str(tmp_path / "camp")
+        assert (
+            main(
+                [
+                    "sweep",
+                    "run",
+                    "--run-dir",
+                    run_dir,
+                    "--experiment",
+                    "fig1_point",
+                    "--axis",
+                    "nodes=100,1000",
+                    "--seeds",
+                    "0,1",
+                    "--serial",
+                ]
+            )
+            == 0
+        )
+        assert "4/4 cells ok" in capsys.readouterr().out
+
+        assert main(["sweep", "status", "--run-dir", run_dir]) == 0
+        assert "4/4 cells ok, 0 failed, 0 pending" in capsys.readouterr().out
+
+        assert (
+            main(
+                [
+                    "sweep",
+                    "aggregate",
+                    "--run-dir",
+                    run_dir,
+                    "--metric",
+                    "dissent_v1_bps",
+                    "--by",
+                    "nodes",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "dissent_v1_bps by nodes" in out and "100000" in out
+
+        # Resuming a finished campaign is a no-op that still succeeds.
+        assert main(["sweep", "resume", "--run-dir", run_dir]) == 0
+        assert "4/4 cells ok" in capsys.readouterr().out
+
+    def test_aggregate_unknown_metric_fails(self, tmp_path, capsys):
+        run_dir = str(tmp_path / "camp")
+        main(
+            [
+                "sweep", "run", "--run-dir", run_dir,
+                "--experiment", "fig1_point", "--axis", "nodes=100", "--serial",
+            ]
+        )
+        capsys.readouterr()
+        assert main(["sweep", "aggregate", "--run-dir", run_dir, "--metric", "nope"]) == 1

@@ -1,0 +1,260 @@
+"""Unit tests for the sweep orchestrator.
+
+Covers the ISSUE's required recovery paths: worker-crash retry with
+bounded backoff, resume from a mid-run checkpoint, and the result
+store's versioned schema round-trip — plus grid identity, manifest
+round-trips and the aggregation helpers the figures consume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.orchestrator import (
+    RESULT_SCHEMA_VERSION,
+    ResultRecord,
+    ResultStore,
+    StoreSchemaError,
+    SweepCell,
+    SweepGrid,
+    SweepOrchestrator,
+    WorkerContext,
+    run_cell_inline,
+    run_grid_inline,
+)
+from repro.orchestrator.pool import STORE_NAME, load_manifest, write_manifest
+from repro.orchestrator.workloads import protocol_run
+
+_FAST = {"nodes": 4, "duration": 2.0, "messages": 1}
+
+
+# ---------------------------------------------------------------------------
+# grid identity
+# ---------------------------------------------------------------------------
+class TestGrid:
+    def test_cell_id_is_insensitive_to_param_order(self):
+        a = SweepCell.make("protocol", {"nodes": 4, "duration": 1.0}, 3)
+        b = SweepCell.make("protocol", {"duration": 1.0, "nodes": 4}, 3)
+        assert a.cell_id == b.cell_id
+        assert a.config_hash == b.config_hash
+
+    def test_cell_id_changes_with_any_identity_component(self):
+        base = SweepCell.make("protocol", {"nodes": 4}, 0)
+        assert base.cell_id != SweepCell.make("protocol", {"nodes": 5}, 0).cell_id
+        assert base.cell_id != SweepCell.make("protocol", {"nodes": 4}, 1).cell_id
+        assert base.cell_id != SweepCell.make("fig1_point", {"nodes": 4}, 0).cell_id
+
+    def test_grid_enumeration_is_deterministic(self):
+        grid = SweepGrid("protocol", {"b": [1, 2], "a": [3]}, seeds=(0, 1))
+        ids = [c.cell_id for c in grid.cells()]
+        again = [c.cell_id for c in SweepGrid("protocol", {"a": [3], "b": [1, 2]}, seeds=(0, 1)).cells()]
+        assert ids == again
+        assert len(ids) == len(set(ids)) == len(grid) == 4
+
+    def test_manifest_spec_round_trip(self, tmp_path):
+        grid = SweepGrid("protocol", {"nodes": [4, 6]}, seeds=(0, 1), base_params={"duration": 1.0})
+        write_manifest(str(tmp_path), grid, {"workers": 3})
+        restored, options = load_manifest(str(tmp_path))
+        assert [c.cell_id for c in restored.cells()] == [c.cell_id for c in grid.cells()]
+        assert options == {"workers": 3}
+
+    def test_base_and_axis_params_cannot_overlap(self):
+        with pytest.raises(ValueError):
+            SweepGrid("protocol", {"nodes": [4]}, base_params={"nodes": 6})
+
+    def test_non_json_param_values_are_rejected(self):
+        with pytest.raises(TypeError):
+            SweepCell.make("protocol", {"bad": object()}, 0)
+
+
+# ---------------------------------------------------------------------------
+# result store schema
+# ---------------------------------------------------------------------------
+def _record(**overrides) -> ResultRecord:
+    base = dict(
+        cell_id="abc123",
+        experiment="protocol",
+        config_hash="deadbeef",
+        params={"nodes": 4},
+        seed=0,
+        metrics={"throughput_bps": 176.0},
+    )
+    base.update(overrides)
+    return ResultRecord(**base)
+
+
+class TestStore:
+    def test_record_json_round_trip(self):
+        record = _record(attempts=2, wall_time_s=1.25, sim_time_s=4.0)
+        clone = ResultRecord.from_json(record.to_json())
+        assert clone == record
+        assert clone.schema == RESULT_SCHEMA_VERSION
+
+    def test_unknown_schema_version_fails_loudly(self):
+        body = json.loads(_record().to_json())
+        body["schema"] = RESULT_SCHEMA_VERSION + 1
+        with pytest.raises(StoreSchemaError):
+            ResultRecord.from_json(json.dumps(body))
+
+    def test_garbage_line_fails_loudly(self):
+        with pytest.raises(StoreSchemaError):
+            ResultRecord.from_json("not json at all")
+
+    def test_invalid_status_rejected(self):
+        with pytest.raises(ValueError):
+            _record(status="maybe")
+
+    def test_jsonl_persistence_round_trip(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        store = ResultStore(path)
+        store.append(_record())
+        store.append(_record(cell_id="def456", status="failed", error="boom"))
+        fresh = ResultStore(path)
+        assert len(fresh) == 2
+        assert fresh.completed_ids() == {"abc123"}
+        assert fresh.failed_ids() == {"def456"}
+
+    def test_last_record_wins(self):
+        store = ResultStore()
+        store.append(_record(status="failed", error="crash"))
+        store.append(_record(attempts=2))
+        assert store.completed_ids() == {"abc123"}
+        assert store.latest()["abc123"].attempts == 2
+
+    def test_series_means_over_seeds(self):
+        store = ResultStore()
+        for seed, value in ((0, 10.0), (1, 30.0)):
+            store.append(
+                _record(cell_id=f"c{seed}", seed=seed, metrics={"m": value})
+            )
+        xs, ys = store.series("nodes", "m")
+        assert xs == [4]
+        assert ys == [20.0]
+
+    def test_aggregate_rows(self):
+        store = ResultStore()
+        store.append(_record(cell_id="c0", params={"nodes": 4}, metrics={"m": 1.0}))
+        store.append(_record(cell_id="c1", params={"nodes": 8}, metrics={"m": 3.0}))
+        rows = store.aggregate("m", by="nodes")
+        assert [(r["nodes"], r["mean"]) for r in rows] == [(4, 1.0), (8, 3.0)]
+
+
+# ---------------------------------------------------------------------------
+# inline execution + checkpoint resume (no processes)
+# ---------------------------------------------------------------------------
+class TestInline:
+    def test_run_cell_inline_protocol(self):
+        record = run_cell_inline(SweepCell.make("protocol", _FAST, 0))
+        assert record.status == "ok"
+        assert record.metrics["deliveries"] > 0
+        assert record.sim_time_s == pytest.approx(2.0)
+
+    def test_run_grid_inline_skips_completed_cells(self):
+        grid = SweepGrid("fig1_point", {"nodes": [100, 1000]})
+        store = run_grid_inline(grid)
+        assert len(store) == 2
+        run_grid_inline(grid, store)  # resume semantics: nothing re-runs
+        assert len(store) == 2
+
+    def test_resume_from_checkpoint_matches_uninterrupted(self, tmp_path):
+        """A run resumed from its mid-run snapshot reproduces the full
+        run's metrics exactly (the crash-recovery correctness core)."""
+        params = {"nodes": 4, "duration": 2.0, "messages": 1}
+        uninterrupted = protocol_run(dict(params), 7, WorkerContext())
+
+        path = str(tmp_path / "cell.snap")
+        first = WorkerContext(checkpoint_path=path, checkpoint_interval=1.0)
+        full = protocol_run(dict(params), 7, first)
+        assert full == uninterrupted
+        # The t=1.0 checkpoint is still on disk (the pool clears it only
+        # after the record is safely outboxed); a fresh attempt must
+        # resume from it rather than restart.
+        assert first.checkpoints_written == 1
+        assert os.path.exists(path)
+        second = WorkerContext(checkpoint_path=path, checkpoint_interval=1.0, attempt=1)
+        resumed = protocol_run(dict(params), 7, second)
+        assert resumed == uninterrupted
+
+    def test_unknown_workload_fails(self):
+        with pytest.raises(KeyError):
+            run_cell_inline(SweepCell.make("no_such_experiment", {}, 0))
+
+
+# ---------------------------------------------------------------------------
+# the worker pool (real processes)
+# ---------------------------------------------------------------------------
+class TestPool:
+    def test_injected_crash_is_retried_to_success(self, tmp_path):
+        grid = SweepGrid("protocol", {"nodes": [4]}, seeds=(0,), base_params={"duration": 1.0, "messages": 1})
+        cell = grid.cells()[0]
+        store = ResultStore(str(tmp_path / STORE_NAME))
+        orchestrator = SweepOrchestrator(
+            grid,
+            store,
+            str(tmp_path),
+            workers=1,
+            checkpoint_interval=0.5,
+            backoff_base=0.05,
+            inject_crash_cells={cell.cell_id},
+        )
+        status = orchestrator.run()
+        assert status.done and status.failed == 0
+        record = store.latest()[cell.cell_id]
+        assert record.status == "ok"
+        assert record.attempts == 2
+        # Crash recovery must not change the numbers.
+        assert record.metrics == run_cell_inline(cell).metrics
+        # Checkpoint and outbox are cleaned up after collection.
+        assert os.listdir(str(tmp_path / "checkpoints")) == []
+        assert os.listdir(str(tmp_path / "outbox")) == []
+
+    def test_exhausted_retries_record_a_failure(self, tmp_path):
+        grid = SweepGrid("protocol", {"nodes": [4]}, seeds=(0,), base_params={"duration": 1.0, "messages": 1})
+        cell = grid.cells()[0]
+        store = ResultStore(str(tmp_path / STORE_NAME))
+        orchestrator = SweepOrchestrator(
+            grid,
+            store,
+            str(tmp_path),
+            workers=1,
+            max_retries=0,  # the injected first-attempt crash is terminal
+            inject_crash_cells={cell.cell_id},
+        )
+        status = orchestrator.run()
+        assert status.failed == 1
+        record = store.latest()[cell.cell_id]
+        assert record.status == "failed"
+        assert record.attempts == 1
+        assert "crash" in record.error
+
+    def test_hung_worker_is_killed_and_recorded(self, tmp_path):
+        # A long simulation against a tiny wall-clock timeout: the pool
+        # must terminate the worker and record the failure.
+        grid = SweepGrid(
+            "protocol", {"nodes": [8]}, seeds=(0,), base_params={"duration": 300.0, "messages": 4}
+        )
+        store = ResultStore(str(tmp_path / STORE_NAME))
+        orchestrator = SweepOrchestrator(
+            grid, store, str(tmp_path), workers=1, max_retries=0, worker_timeout=0.4
+        )
+        status = orchestrator.run()
+        assert status.failed == 1
+        record = store.latest()[grid.cells()[0].cell_id]
+        assert record.status == "failed"
+        assert "hung" in record.error
+
+    def test_resume_skips_completed_cells(self, tmp_path):
+        grid = SweepGrid("protocol", {"nodes": [4, 6]}, seeds=(0,), base_params={"duration": 1.0, "messages": 1})
+        store = ResultStore(str(tmp_path / STORE_NAME))
+        first, second = grid.cells()
+        # Simulate an interrupted campaign: only the first cell finished.
+        store.append(run_cell_inline(first))
+        orchestrator = SweepOrchestrator(grid, store, str(tmp_path), workers=1)
+        status = orchestrator.run()
+        assert status.done and status.completed == 2
+        # The completed cell was not re-run (still exactly one record).
+        records = [r for r in store.records() if r.cell_id == first.cell_id]
+        assert len(records) == 1
