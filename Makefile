@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-baseline ci-bench-smoke sweep-smoke report examples ci clean
+.PHONY: install test bench bench-baseline ci-bench-smoke sweep-smoke live-smoke report examples ci clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -33,6 +33,9 @@ sweep-smoke:  # 2x2 sweep on 2 workers with one injected crash; must recover
 	PYTHONPATH=src $(PYTHON) -m repro sweep aggregate --run-dir results/sweep_smoke \
 		--metric events_processed --by nodes
 
+live-smoke:  # 8 live nodes over real TCP for ~10s; >=1 delivery, 0 evictions
+	PYTHONPATH=src $(PYTHON) -m repro live demo --nodes 8 --duration 10 --check
+
 report:
 	$(PYTHON) -m repro report --output results/full_report.txt
 
@@ -40,6 +43,7 @@ ci:  # what .github/workflows/ci.yml runs
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 	$(PYTHON) experiments/fault_sweep.py --smoke
 	$(MAKE) sweep-smoke
+	$(MAKE) live-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_smoke.py -q
 
 examples:

@@ -10,6 +10,7 @@
     python -m repro ablation          # L / R / G tradeoff sweeps
     python -m repro trace             # Figure 2 walkthrough
     python -m repro measure --nodes 10  # packet-level throughput point
+    python -m repro live demo --nodes 8 --duration 10  # real-TCP cluster
 
 Every command prints the same tables the benches write to
 ``results/``.
@@ -121,6 +122,34 @@ def build_parser() -> argparse.ArgumentParser:
     aggregate.add_argument("--metric", required=True, help="metric name to aggregate")
     aggregate.add_argument("--by", default="seed", help="group rows by this parameter (default: seed)")
 
+    live = sub.add_parser("live", help="asyncio runtime: RAC nodes over real TCP sockets")
+    live_sub = live.add_subparsers(dest="live_command", required=True)
+
+    demo = live_sub.add_parser("demo", help="run a live cluster on localhost and report")
+    demo.add_argument("--nodes", type=int, default=8, help="cluster size (default 8)")
+    demo.add_argument("--duration", type=float, default=10.0, help="wall seconds (default 10)")
+    demo.add_argument("--seed", type=int, default=0, help="population seed (default 0)")
+    demo.add_argument(
+        "--messages", type=int, default=2, help="anonymous messages queued per node (default 2)"
+    )
+    demo.add_argument(
+        "--port-base",
+        type=int,
+        default=None,
+        metavar="P",
+        help="bind node i to port P+i (default: ephemeral ports)",
+    )
+    demo.add_argument(
+        "--subprocess",
+        action="store_true",
+        help="one worker process per node instead of asyncio tasks",
+    )
+    demo.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero unless >=1 delivery and 0 evictions (CI smoke contract)",
+    )
+
     return parser
 
 
@@ -209,6 +238,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(full_report(include_ablations=not args.no_ablations))
     elif args.command == "sweep":
         return _dispatch_sweep(args)
+    elif args.command == "live":
+        return _dispatch_live(args)
     elif args.command == "measure":
         from .experiments.empirical import measure_rac_throughput
 
@@ -220,6 +251,33 @@ def _dispatch(args: argparse.Namespace) -> int:
             f"model {m.model_bps_per_node:,.0f} b/s, efficiency {m.efficiency:.2f}, "
             f"{m.deliveries} deliveries, {m.evictions} evictions"
         )
+    return 0
+
+
+def _dispatch_live(args: argparse.Namespace) -> int:
+    from .live.cluster import run_demo, run_subprocess_demo
+
+    if args.live_command == "demo":
+        if args.subprocess:
+            report = run_subprocess_demo(
+                args.nodes,
+                args.duration,
+                seed=args.seed,
+                messages=args.messages,
+                port_base=args.port_base,
+            )
+        else:
+            report = run_demo(
+                args.nodes,
+                args.duration,
+                seed=args.seed,
+                messages=args.messages,
+                port_base=args.port_base,
+            )
+        print(report.render())
+        if args.check and (report.deliveries < 1 or report.evicted or report.errors):
+            print("live smoke FAILED: expected >=1 delivery, 0 evictions, 0 errors")
+            return 1
     return 0
 
 

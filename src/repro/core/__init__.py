@@ -1,6 +1,8 @@
 """The RAC protocol itself (the paper's primary contribution).
 
 * :mod:`repro.core.config` — deployment parameters (L, R, G, timers);
+* :mod:`repro.core.environment` — the NodeEnvironment substrate protocol;
+* :mod:`repro.core.identity` — deterministic node identity material;
 * :mod:`repro.core.onion` — layered encryption, padding, peeling;
 * :mod:`repro.core.messages` — wire message types and domain ids;
 * :mod:`repro.core.monitor` — the three misbehaviour checks;
@@ -12,7 +14,9 @@
 
 from .behavior import HonestBehavior
 from .blacklist import Blacklist, BlacklistEntry, EvictionTracker
-from .config import RacConfig
+from .config import RacConfig, validate_timers
+from .environment import NodeEnvironment
+from .identity import NodeMaterial, build_population, generate_node_material
 from .messages import (
     Accusation,
     BlacklistShare,
@@ -32,6 +36,11 @@ from .system import RacSystem
 
 __all__ = [
     "HonestBehavior",
+    "NodeEnvironment",
+    "NodeMaterial",
+    "build_population",
+    "generate_node_material",
+    "validate_timers",
     "Blacklist",
     "BlacklistEntry",
     "EvictionTracker",

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 from ..simnet.network import GBPS
 
-__all__ = ["RacConfig"]
+__all__ = ["RacConfig", "validate_timers"]
 
 
 @dataclass
@@ -115,6 +115,13 @@ class RacConfig:
     # -- bookkeeping ------------------------------------------------------------
     #: Whether nodes keep full traces (protocol walkthroughs, tests).
     trace: bool = False
+    #: Debug flag: round-trip every unicast payload through the binary
+    #: wire codecs (:mod:`repro.core.wire`) and assert the encoded size
+    #: matches what the node charged the network. Keeps the codecs
+    #: load-bearing in simulation so codec/size drift is caught by the
+    #: same runs that exercise the protocol. Off by default (it encodes
+    #: every message twice).
+    wire_check: bool = False
     #: Ticks between broadcast-state garbage collections (records older
     #: than every active timer are dropped). 0 disables GC.
     state_gc_ticks: int = 200
@@ -166,6 +173,26 @@ class RacConfig:
         base.update(overrides)
         return cls(**base)
 
+    def saturation_interval(self, group_size: int) -> float:
+        """Origination interval that saturates the uplinks.
+
+        Each origination slot floods one padded message over the R
+        rings: every group member transmits R copies of each of the G
+        broadcasts originated per interval, so the per-member work per
+        interval is R * G * M bytes, and the uplink is full when the
+        interval equals that work's serialization time. (The (L+1)
+        broadcasts per *anonymous message* then divide the delivered
+        goodput down to the paper's C / ((L+1) R G) — DESIGN.md §4.)
+        """
+        work_bits = self.num_rings * group_size * self.message_size * 8
+        return work_bits / self.link_bandwidth_bps
+
+    def derived_send_interval(self, group_size: int) -> float:
+        """The effective interval: configured, or saturation-derived."""
+        if self.send_interval is not None:
+            return self.send_interval
+        return self.saturation_interval(max(2, group_size)) * self.saturation_margin
+
     def predecessor_accusation_threshold(self, domain_size: int) -> int:
         """Accusations needed to evict via follower reports: t + 1.
 
@@ -182,3 +209,41 @@ class RacConfig:
         import math
 
         return math.floor(self.assumed_opponent_fraction * group_size) + 1
+
+
+def validate_timers(config: RacConfig, interval: float) -> None:
+    """Reject timer configurations that cannot work at ``interval``.
+
+    An onion needs L+1 origination slots spread over distinct nodes'
+    staggered schedules; a ``relay_timeout`` below that budget would
+    blacklist every honest relay. Catching this at bootstrap beats
+    debugging mass evictions later. Shared by the simulator
+    (:class:`repro.core.system.RacSystem`) and the live runtime
+    (:class:`repro.live.cluster.LiveCluster`), which face the same
+    arithmetic on different clocks.
+    """
+    min_relay_timeout = (config.num_relays + 2) * interval
+    if config.relay_timeout < min_relay_timeout:
+        raise ValueError(
+            f"relay_timeout={config.relay_timeout}s cannot cover an "
+            f"L={config.num_relays} onion at send_interval={interval:.4g}s; "
+            f"need at least {min_relay_timeout:.4g}s"
+        )
+    if config.predecessor_timeout < 2 * interval:
+        raise ValueError(
+            f"predecessor_timeout={config.predecessor_timeout}s is below "
+            f"two origination intervals ({2 * interval:.4g}s); ring copies "
+            "could not arrive in time"
+        )
+    if config.link_loss_rate > 0:
+        # A lost copy reappears one RTO later; back-to-back losses
+        # cost a doubled RTO on top. The misbehaviour timers must
+        # leave the ARQ that recovery budget, or plain packet loss
+        # masquerades as freeriding (see DESIGN.md "Fault model").
+        recovery = 4 * config.transport_rto_initial
+        if config.predecessor_timeout < recovery:
+            raise ValueError(
+                f"predecessor_timeout={config.predecessor_timeout}s leaves no "
+                f"retransmission budget on a lossy network; need at least "
+                f"4 * transport_rto_initial = {recovery:.4g}s"
+            )

@@ -1,0 +1,71 @@
+"""Deterministic node identity material.
+
+One RAC participant is defined by its two keypairs, the puzzle-derived
+node id (Section IV-C's group-assignment puzzle) and the seed of its
+private RNG. :func:`generate_node_material` draws all of that from a
+shared system RNG in a **pinned order** — it is the exact sequence
+:class:`repro.core.system.RacSystem` has always used, extracted so the
+live runtime (:mod:`repro.live`) can rebuild byte-identical populations
+outside the simulator: the sim/live parity harness depends on both
+substrates running *the same* nodes with *the same* keys.
+
+Changing the draw order here changes every fixed-seed fingerprint in
+``tests/integration/test_determinism.py``; treat it as frozen.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from ..crypto.keys import KeyPair
+from ..groups.assignment import PuzzleSolution, solve_puzzle
+from .config import RacConfig
+
+__all__ = ["NodeMaterial", "generate_node_material", "build_population"]
+
+
+@dataclass(frozen=True)
+class NodeMaterial:
+    """Everything needed to instantiate one node deterministically."""
+
+    #: 1-based creation index (the system's ``_key_seed``).
+    index: int
+    node_id: int
+    id_keypair: KeyPair
+    pseudonym_keypair: KeyPair
+    puzzle: PuzzleSolution
+    #: Seed of the node's private ``random.Random``.
+    node_seed: int
+
+
+def generate_node_material(rng: random.Random, key_seed: int, config: RacConfig) -> NodeMaterial:
+    """Draw one node's identity from ``rng``.
+
+    Consumes the RNG in the pinned order: 48 bits of key-seed base, the
+    puzzle search, then 62 bits for the node's private RNG seed.
+    """
+    base = rng.getrandbits(48) * 1000 + key_seed
+    id_keypair = KeyPair.generate(config.key_backend, seed=base * 2)
+    pseudonym_keypair = KeyPair.generate(config.key_backend, seed=base * 2 + 1)
+    puzzle = solve_puzzle(id_keypair.public.key_id, config.puzzle_bits, rng=rng)
+    node_seed = rng.getrandbits(62)
+    return NodeMaterial(
+        index=key_seed,
+        node_id=puzzle.node_id,
+        id_keypair=id_keypair,
+        pseudonym_keypair=pseudonym_keypair,
+        puzzle=puzzle,
+        node_seed=node_seed,
+    )
+
+
+def build_population(config: RacConfig, count: int, seed: int = 0) -> "List[NodeMaterial]":
+    """The first ``count`` nodes a ``RacSystem(config, seed)`` would create.
+
+    Matches :meth:`repro.core.system.RacSystem.bootstrap` draw for draw,
+    so a live cluster seeded the same way hosts the same population.
+    """
+    rng = random.Random(seed)
+    return [generate_node_material(rng, index + 1, config) for index in range(count)]

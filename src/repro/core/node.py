@@ -15,16 +15,23 @@ A node participates in one *group* and, transiently, in *channels*
 * periodic participation in the anonymous **blacklist shuffle** (driven
   by :class:`repro.core.system.RacSystem`).
 
-The node is glued to the simulation through a narrow ``env`` interface
-(the system object) providing the clock, transport, membership views
-and eviction reporting; unit tests stub it with a few lines.
+The node is glued to its execution substrate through the narrow
+``env`` interface — the :class:`repro.core.environment.NodeEnvironment`
+protocol — providing the clock, transport, membership views and
+eviction reporting. The discrete-event simulator
+(:class:`repro.core.system.RacSystem`) and the asyncio/TCP live runtime
+(:class:`repro.live.environment.LiveEnvironment`) both implement it;
+unit tests stub it with a few lines.
 """
 
 from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .environment import NodeEnvironment
 
 from ..crypto.hashes import message_id, sha256_int
 from ..crypto.keys import KeyPair, PublicKey
@@ -59,7 +66,7 @@ class RacNode:
         self,
         node_id: int,
         config: RacConfig,
-        env,
+        env: "NodeEnvironment",
         id_keypair: KeyPair,
         pseudonym_keypair: KeyPair,
         behavior: "HonestBehavior | None" = None,

@@ -29,10 +29,10 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Tuple
 
-from ..crypto.keys import KeyPair, PublicKey
+from ..crypto.keys import PublicKey
 from ..groups.channels import ChannelDirectory
 from ..groups.manager import GroupDirectory
-from ..groups.assignment import solve_puzzle, verify_puzzle
+from ..groups.assignment import verify_puzzle
 from ..overlay.membership import MembershipView
 from ..simnet.engine import Simulator
 from ..simnet.faults import FaultInjector
@@ -41,15 +41,23 @@ from ..simnet.stats import LatencyMeter, StatsRegistry, ThroughputMeter, engine_
 from ..simnet.trace import Tracer
 from ..simnet.transport import ReliableTransport
 from ..crypto.shuffle import ShuffleParticipant, run_shuffle
-from .config import RacConfig
+from .config import RacConfig, validate_timers
+from .identity import generate_node_material
 from .messages import DomainId, JoinRequest
 from .node import RacNode
+from .wire import verify_unicast_payload
 
 __all__ = ["RacSystem"]
 
 
 class RacSystem:
-    """One simulated RAC deployment."""
+    """One simulated RAC deployment.
+
+    This class is the simnet-backed implementation of the
+    :class:`repro.core.environment.NodeEnvironment` protocol (plus the
+    public experiment API on top); :class:`repro.live.environment.LiveEnvironment`
+    is the asyncio/TCP-backed one.
+    """
 
     def __init__(self, config: "RacConfig | None" = None, seed: int = 0) -> None:
         self.config = config if config is not None else RacConfig()
@@ -105,6 +113,9 @@ class RacSystem:
     def unicast(self, src: int, dst: int, payload, size_bytes: int) -> None:
         if not self.network.attached(dst) or not self.network.attached(src):
             return  # peer evicted/left; a real TCP connection would reset
+        if self.config.wire_check:
+            verify_unicast_payload(payload, size_bytes)
+            self.stats.add("wire_checks")
         self.transport.send(src, dst, payload, size_bytes)
 
     def group_of(self, node_id: int) -> int:
@@ -126,7 +137,7 @@ class RacSystem:
         if self._interval_override is not None:
             return self._interval_override
         group = self.directory.group_of_node(node_id)
-        return self.saturation_interval(max(2, len(group))) * self.config.saturation_margin
+        return self.config.derived_send_interval(len(group))
 
     def uplink_backlog_seconds(self, node_id: int) -> float:
         """Seconds of serialization queued on a node's uplink."""
@@ -267,39 +278,9 @@ class RacSystem:
         return created
 
     def _validate_timers(self, population: int) -> None:
-        """Reject configurations whose timers cannot work.
-
-        An onion needs L+1 origination slots spread over distinct
-        nodes' staggered schedules; a ``relay_timeout`` below that
-        budget would blacklist every honest relay. Catching this at
-        bootstrap beats debugging mass evictions later.
-        """
-        interval = self.send_interval_for(next(iter(self.nodes)))
-        min_relay_timeout = (self.config.num_relays + 2) * interval
-        if self.config.relay_timeout < min_relay_timeout:
-            raise ValueError(
-                f"relay_timeout={self.config.relay_timeout}s cannot cover an "
-                f"L={self.config.num_relays} onion at send_interval={interval:.4g}s; "
-                f"need at least {min_relay_timeout:.4g}s"
-            )
-        if self.config.predecessor_timeout < 2 * interval:
-            raise ValueError(
-                f"predecessor_timeout={self.config.predecessor_timeout}s is below "
-                f"two origination intervals ({2 * interval:.4g}s); ring copies "
-                "could not arrive in time"
-            )
-        if self.config.link_loss_rate > 0:
-            # A lost copy reappears one RTO later; back-to-back losses
-            # cost a doubled RTO on top. The misbehaviour timers must
-            # leave the ARQ that recovery budget, or plain packet loss
-            # masquerades as freeriding (see DESIGN.md "Fault model").
-            recovery = 4 * self.config.transport_rto_initial
-            if self.config.predecessor_timeout < recovery:
-                raise ValueError(
-                    f"predecessor_timeout={self.config.predecessor_timeout}s leaves no "
-                    f"retransmission budget on a lossy network; need at least "
-                    f"4 * transport_rto_initial = {recovery:.4g}s"
-                )
+        """Reject configurations whose timers cannot work (see
+        :func:`repro.core.config.validate_timers`)."""
+        validate_timers(self.config, self.send_interval_for(next(iter(self.nodes))))
 
     def join(self, behavior=None) -> int:
         """One node joins a running system via the Section IV-C handshake.
@@ -357,30 +338,25 @@ class RacSystem:
 
     def _create_node(self, behavior=None) -> int:
         self._key_seed += 1
-        base = self.rng.getrandbits(48) * 1000 + self._key_seed
-        id_keypair = KeyPair.generate(self.config.key_backend, seed=base * 2)
-        pseudonym_keypair = KeyPair.generate(self.config.key_backend, seed=base * 2 + 1)
-        puzzle = solve_puzzle(
-            id_keypair.public.key_id, self.config.puzzle_bits, rng=self.rng
-        )
-        node_id = puzzle.node_id
-        self._puzzle_vectors[node_id] = puzzle.vector
+        material = generate_node_material(self.rng, self._key_seed, self.config)
+        node_id = material.node_id
+        self._puzzle_vectors[node_id] = material.puzzle.vector
         node = RacNode(
             node_id,
             self.config,
             self,
-            id_keypair,
-            pseudonym_keypair,
+            material.id_keypair,
+            material.pseudonym_keypair,
             behavior=behavior,
-            rng=random.Random(self.rng.getrandbits(62)),
+            rng=random.Random(material.node_seed),
         )
         self.nodes[node_id] = node
         self.node_meters[node_id] = ThroughputMeter()
-        self.pseudonym_keys[node_id] = pseudonym_keypair.public
-        self.directory.add_node(node_id, id_keypair.public)
+        self.pseudonym_keys[node_id] = material.pseudonym_keypair.public
+        self.directory.add_node(node_id, material.id_keypair.public)
         self.transport.attach(node_id, node.on_message)
         node.start()
-        self.stats.add("puzzle_attempts", puzzle.attempts)
+        self.stats.add("puzzle_attempts", material.puzzle.attempts)
         return node_id
 
     def leave(self, node_id: int) -> None:
@@ -430,19 +406,9 @@ class RacSystem:
         return [nid for nid, node in self.nodes.items() if node.active]
 
     def saturation_interval(self, group_size: int) -> float:
-        """Origination interval that saturates the uplinks.
-
-        Each origination slot floods one padded message over the R
-        rings: every group member transmits R copies of each of the G
-        broadcasts originated per interval, so the per-member work per
-        interval is R * G * M bytes, and the uplink is full when the
-        interval equals that work's serialization time. (The (L+1)
-        broadcasts per *anonymous message* then divide the delivered
-        goodput down to the paper's C / ((L+1) R G) — DESIGN.md §4.)
-        """
-        cfg = self.config
-        work_bits = cfg.num_rings * group_size * cfg.message_size * 8
-        return work_bits / cfg.link_bandwidth_bps
+        """Origination interval that saturates the uplinks (see
+        :meth:`repro.core.config.RacConfig.saturation_interval`)."""
+        return self.config.saturation_interval(group_size)
 
     # ======================================================================
     # anonymous blacklist dissemination (Section IV-C "Evicting nodes")

@@ -27,11 +27,33 @@ from .messages import (
     ReadyMessage,
 )
 
-__all__ = ["encode_message", "decode_message", "encoded_size", "WireError"]
+__all__ = [
+    "encode_message",
+    "decode_message",
+    "encoded_size",
+    "encode_public_key",
+    "decode_public_key",
+    "broadcast_overhead",
+    "verify_unicast_payload",
+    "WireError",
+]
 
 
 class WireError(Exception):
-    """Raised on malformed frames."""
+    """Raised on malformed frames.
+
+    This is the *only* exception :func:`decode_message` may raise on
+    untrusted bytes: the live runtime feeds frames straight off TCP
+    sockets into the decoder, and anything else (``struct.error``,
+    ``IndexError``, ``RecursionError``, ...) escaping would crash a
+    node on a single mutated frame.
+    """
+
+
+#: Maximum nesting of length-prefixed sub-frames (a JoinAnnounce wraps
+#: one JoinRequest; hostile input could wrap announces in announces
+#: until the recursion limit crashes the decoder).
+_MAX_DEPTH = 4
 
 
 _TAG_BROADCAST = 1
@@ -113,7 +135,10 @@ class _Reader:
         return self.take(self.u32())
 
     def text(self) -> str:
-        return self.blob().decode("utf-8")
+        try:
+            return self.blob().decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireError(f"invalid utf-8 in frame: {exc}") from None
 
     def domain(self) -> DomainId:
         kind = self.u8()
@@ -135,9 +160,12 @@ class _Reader:
             prime = int.from_bytes(self.blob(), "big")
             generator = self.u32()
             exponent_bits = self.u32()
-            return PublicKey(
-                "dh", key_id, dh_value=value, dh_group=DHGroup(prime, generator, exponent_bits)
-            )
+            try:
+                return PublicKey(
+                    "dh", key_id, dh_value=value, dh_group=DHGroup(prime, generator, exponent_bits)
+                )
+            except (ValueError, TypeError) as exc:
+                raise WireError(f"invalid dh key material: {exc}") from None
         raise WireError(f"unknown key backend {backend!r}")
 
     def done(self) -> None:
@@ -201,9 +229,28 @@ def encode_message(message: WireMessage) -> bytes:
 
 
 def decode_message(data: bytes) -> WireMessage:
-    """Parse a frame produced by :func:`encode_message`."""
+    """Parse a frame produced by :func:`encode_message`.
+
+    Raises :class:`WireError` — and nothing else — on malformed input:
+    the decoder sits on the untrusted side of real sockets in the live
+    runtime, so every low-level parsing failure is normalized here.
+    """
+    try:
+        return _decode(data, depth=0)
+    except WireError:
+        raise
+    except (ValueError, TypeError, KeyError, IndexError, OverflowError, struct.error) as exc:
+        # Belt and braces: the readers above should already normalize
+        # every malformed-input failure, but a decoder bug must corrupt
+        # one frame, not crash a live node.
+        raise WireError(f"malformed frame: {exc}") from None
+
+
+def _decode(data: bytes, depth: int) -> WireMessage:
     if not data:
         raise WireError("empty frame")
+    if depth > _MAX_DEPTH:
+        raise WireError("frame nesting too deep")
     reader = _Reader(data)
     tag = reader.u8()
     if tag == _TAG_BROADCAST:
@@ -230,7 +277,7 @@ def decode_message(data: bytes) -> WireMessage:
         reader.done()
         return JoinRequest(node_id, key_id, vector, key)
     if tag == _TAG_JOIN_ANNOUNCE:
-        inner = decode_message(reader.blob())
+        inner = _decode(reader.blob(), depth + 1)
         sponsor = reader.node_id()
         reader.done()
         if not isinstance(inner, JoinRequest):
@@ -258,3 +305,61 @@ def decode_message(data: bytes) -> WireMessage:
 def encoded_size(message: WireMessage) -> int:
     """Wire size of a message — what the simulator should charge."""
     return len(encode_message(message))
+
+
+def encode_public_key(key: PublicKey) -> bytes:
+    """Standalone public-key codec (bootstrap directory rosters)."""
+    return _put_key(key)
+
+
+def decode_public_key(data: bytes) -> PublicKey:
+    """Parse a blob produced by :func:`encode_public_key`."""
+    try:
+        reader = _Reader(data)
+        key = reader.key()
+        reader.done()
+        return key
+    except WireError:
+        raise
+    except (ValueError, TypeError, KeyError, IndexError, OverflowError, struct.error) as exc:
+        raise WireError(f"malformed key blob: {exc}") from None
+
+
+def broadcast_overhead(domain: DomainId) -> int:
+    """Framing bytes a :class:`Broadcast` adds on top of its padded blob.
+
+    Nodes charge the network ``len(wire)`` for a broadcast (the padded
+    message size M of the paper's model); the encoded frame adds the
+    tag, domain, msg id, ring index and length prefix on top. This is
+    the exact gap ``wire_check`` expects between charged and encoded
+    sizes.
+    """
+    return 1 + len(_put_domain(domain)) + _ID_LEN + _U32.size + _U32.size
+
+
+def verify_unicast_payload(message: WireMessage, charged_size: int) -> None:
+    """Debug check: the codecs round-trip and the charged size is honest.
+
+    * ``decode(encode(m)) == m`` — any codec drift for a message the
+      protocol actually sends fails loudly inside the run that sent it;
+    * for a :class:`Broadcast`, the node charges the padded blob and
+      the frame must add exactly :func:`broadcast_overhead`;
+    * for control messages, the node charges :func:`encoded_size`
+      itself, so charged and encoded sizes must match byte for byte.
+
+    Enabled by ``RacConfig.wire_check``; raises :class:`WireError` on
+    any mismatch.
+    """
+    encoded = encode_message(message)
+    decoded = decode_message(encoded)
+    if decoded != message:
+        raise WireError(f"codec round-trip drift for {type(message).__name__}: {message!r}")
+    if isinstance(message, Broadcast):
+        expected = charged_size + broadcast_overhead(message.domain)
+    else:
+        expected = charged_size
+    if len(encoded) != expected:
+        raise WireError(
+            f"size drift for {type(message).__name__}: charged {charged_size}, "
+            f"encoded {len(encoded)}, expected {expected}"
+        )

@@ -1,0 +1,359 @@
+"""LiveCluster: spawn, run and tear down a fleet of live RAC nodes.
+
+Two execution modes share the node code path:
+
+* **tasks** (default) — N nodes as concurrent asyncio tasks in one
+  process, all traffic over real localhost TCP sockets. This is the
+  mode the parity harness, the fault tests and ``repro live demo`` use:
+  one process to debug, real bytes on the wire.
+* **subprocess** — N worker processes (``python -m repro.live.worker``),
+  each hosting one node, rendezvousing through the parent's bootstrap
+  directory. Same protocol, real process isolation; evictions apply
+  per-replica only (no cross-process coordinator).
+
+In tasks mode the cluster is also the eviction coordinator: the first
+complete evidence report wins and is applied to every replica in the
+same loop iteration — the shared-view simplification the simulator
+makes (DESIGN.md §1), kept identical so sim and live runs agree.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.config import RacConfig, validate_timers
+from ..core.identity import NodeMaterial, build_population
+from ..core.messages import DomainId
+from .directory import BootstrapDirectory
+from .node import LiveNode
+
+__all__ = ["LiveCluster", "LiveReport", "live_config", "run_demo", "run_subprocess_demo"]
+
+
+def live_config(**overrides) -> RacConfig:
+    """Defaults for wall-clock runs: the ``small`` test shape with
+    timers holding slack for scheduler jitter (a 50 ms simulated timer
+    is exact; a 50 ms wall timer under load is not), and no blacklist
+    shuffle (the shuffle is a system-level sub-protocol the live
+    runtime does not host yet — see DESIGN.md §11)."""
+    base = dict(
+        send_interval=0.1,
+        relay_timeout=3.0,
+        predecessor_timeout=1.5,
+        rate_window=3.0,
+        blacklist_period=0.0,
+        join_settle_time=0.25,
+    )
+    base.update(overrides)
+    return RacConfig.small(**base)
+
+
+@dataclass
+class LiveReport:
+    """What one cluster run produced, across all nodes."""
+
+    nodes: int
+    duration: float
+    delivered: "Dict[int, List[bytes]]"
+    per_node: "Dict[int, Dict[str, int]]"
+    evicted: "List[int]"
+    errors: "List[str]" = field(default_factory=list)
+
+    @property
+    def deliveries(self) -> int:
+        return sum(len(payloads) for payloads in self.delivered.values())
+
+    def counters(self) -> "Dict[str, int]":
+        totals: "Dict[str, int]" = {}
+        for counters in self.per_node.values():
+            for name, value in counters.items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    @property
+    def accusations(self) -> int:
+        return sum(
+            value for name, value in self.counters().items() if name.startswith("accusation_")
+        )
+
+    def delivered_multiset(self) -> "List[bytes]":
+        """All delivered payloads, sorted — the parity comparand."""
+        return sorted(payload for payloads in self.delivered.values() for payload in payloads)
+
+    def render(self) -> str:
+        totals = self.counters()
+        lines = [
+            f"live cluster: {self.nodes} nodes, {self.duration:.1f}s wall clock",
+            f"  anonymous deliveries : {self.deliveries}",
+            f"  accusations          : {self.accusations}",
+            f"  evictions            : {len(self.evicted)}",
+            f"  tcp frames sent      : {totals.get('live_frames_sent', 0)}",
+            f"  tcp bytes sent       : {totals.get('live_bytes_sent', 0)}",
+            f"  frames rejected      : {totals.get('live_frames_rejected', 0)}",
+            f"  link resets          : {totals.get('live_link_resets', 0)}",
+            f"  connect retries      : {totals.get('live_connect_retries', 0)}",
+        ]
+        if self.errors:
+            lines.append(f"  callback errors      : {len(self.errors)}")
+            lines.extend(f"    {err}" for err in self.errors[:5])
+        return "\n".join(lines)
+
+
+class LiveCluster:
+    """N live nodes in one process (asyncio tasks mode)."""
+
+    def __init__(
+        self,
+        count: int,
+        config: "Optional[RacConfig]" = None,
+        seed: int = 0,
+        *,
+        host: str = "127.0.0.1",
+        port_base: "Optional[int]" = None,
+    ) -> None:
+        if count < 2:
+            raise ValueError("a live cluster needs at least two nodes")
+        self.config = config if config is not None else live_config()
+        validate_timers(self.config, self.config.derived_send_interval(count))
+        self.seed = seed
+        self.host = host
+        self.port_base = port_base
+        self.materials: "List[NodeMaterial]" = build_population(self.config, count, seed)
+        self.directory = BootstrapDirectory(host=host)
+        self.nodes: "List[LiveNode]" = []
+        self.evicted: "List[int]" = []
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------------
+    async def start(self) -> None:
+        """Start the directory and every node; activate when all joined."""
+        await self.directory.start()
+        for index, material in enumerate(self.materials):
+            port = 0 if self.port_base is None else self.port_base + index
+            self.nodes.append(
+                LiveNode(
+                    material,
+                    self.config,
+                    self.directory.host,
+                    self.directory.port,
+                    host=self.host,
+                    port=port,
+                    on_eviction=self._on_eviction,
+                )
+            )
+        await asyncio.gather(*(node.start() for node in self.nodes))
+        roster = self.directory.roster()
+        for node in self.nodes:
+            await node.activate(len(self.nodes), roster=roster)
+        self._started = True
+
+    def queue_message(self, src_index: int, dst_index: int, payload: bytes) -> bool:
+        """Queue an anonymous message between two cluster nodes (the
+        application-level send of ``RacSystem.send``, by index)."""
+        src = self.nodes[src_index]
+        dst_material = self.materials[dst_index]
+        assert src.rac is not None and src.env is not None
+        dst_gid = src.env.group_of(dst_material.node_id)
+        return src.rac.queue_message(
+            dst_material.pseudonym_keypair.public, dst_gid, payload
+        )
+
+    def queue_ring_messages(self, per_node: int) -> int:
+        """The standard scenario plan: each node sends ``per_node``
+        messages to its creation-order successor. Returns count queued."""
+        queued = 0
+        count = len(self.nodes)
+        for index in range(count):
+            for m in range(per_node):
+                payload = f"live/{self.seed}/{index}/{m}".encode()
+                if self.queue_message(index, (index + 1) % count, payload):
+                    queued += 1
+        return queued
+
+    async def run_for(self, duration: float) -> None:
+        await asyncio.sleep(duration)
+
+    def kill_node(self, index: int) -> int:
+        """Crash one node abruptly (fault testing); returns its id."""
+        node = self.nodes[index]
+        node.kill()
+        return node.node_id
+
+    async def shutdown(self, duration: float = 0.0) -> LiveReport:
+        for node in self.nodes:
+            if not node.killed:
+                await node.shutdown()
+        await self.directory.close()
+        errors: "List[str]" = []
+        for node in self.nodes:
+            if node.env is not None:
+                errors.extend(f"node {node.node_id:#x}: {e!r}" for e in node.env.errors)
+        return LiveReport(
+            nodes=len(self.nodes),
+            duration=duration,
+            delivered={node.node_id: node.delivered() for node in self.nodes},
+            per_node={node.node_id: node.counters() for node in self.nodes},
+            evicted=list(self.evicted),
+            errors=errors,
+        )
+
+    # -- eviction coordination (tasks mode) ------------------------------------
+    def _on_eviction(self, reporter: int, accused: int, domain: DomainId, kind: str) -> None:
+        if accused in self.evicted:
+            return
+        self.evicted.append(accused)
+        for node in self.nodes:
+            if node.env is not None:
+                node.env.apply_eviction(accused)
+            if node.node_id == accused and not node.killed:
+                if node.rac is not None:
+                    node.rac.stop()
+
+
+async def _run_cluster(
+    count: int,
+    duration: float,
+    *,
+    config: "Optional[RacConfig]",
+    seed: int,
+    messages: int,
+    port_base: "Optional[int]",
+) -> LiveReport:
+    cluster = LiveCluster(count, config=config, seed=seed, port_base=port_base)
+    await cluster.start()
+    cluster.queue_ring_messages(messages)
+    await cluster.run_for(duration)
+    return await cluster.shutdown(duration)
+
+
+def run_demo(
+    nodes: int = 8,
+    duration: float = 10.0,
+    *,
+    config: "Optional[RacConfig]" = None,
+    seed: int = 0,
+    messages: int = 2,
+    port_base: "Optional[int]" = None,
+) -> LiveReport:
+    """Blocking entry point: one tasks-mode cluster run, reported."""
+    return asyncio.run(
+        _run_cluster(
+            nodes, duration, config=config, seed=seed, messages=messages, port_base=port_base
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# subprocess mode
+# ---------------------------------------------------------------------------
+
+
+def _worker_env() -> "Dict[str, str]":
+    """Child environment with this package importable."""
+    package_root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = package_root if not existing else package_root + os.pathsep + existing
+    return env
+
+
+async def _run_subprocess_cluster(
+    count: int,
+    duration: float,
+    *,
+    seed: int,
+    messages: int,
+    port_base: "Optional[int]",
+    config_overrides: "Optional[Dict[str, object]]",
+) -> LiveReport:
+    directory = BootstrapDirectory()
+    await directory.start()
+    overrides_json = json.dumps(config_overrides or {})
+    procs = []
+    try:
+        for index in range(count):
+            argv = [
+                sys.executable,
+                "-m",
+                "repro.live.worker",
+                "--directory",
+                f"{directory.host}:{directory.port}",
+                "--index",
+                str(index),
+                "--count",
+                str(count),
+                "--seed",
+                str(seed),
+                "--duration",
+                str(duration),
+                "--messages",
+                str(messages),
+                "--config",
+                overrides_json,
+            ]
+            if port_base is not None:
+                argv += ["--port", str(port_base + index)]
+            procs.append(
+                await asyncio.create_subprocess_exec(
+                    *argv,
+                    stdout=asyncio.subprocess.PIPE,
+                    stderr=asyncio.subprocess.PIPE,
+                    env=_worker_env(),
+                )
+            )
+        outputs = await asyncio.gather(*(p.communicate() for p in procs))
+    finally:
+        for p in procs:
+            if p.returncode is None:
+                p.kill()
+        await directory.close()
+
+    delivered: "Dict[int, List[bytes]]" = {}
+    per_node: "Dict[int, Dict[str, int]]" = {}
+    errors: "List[str]" = []
+    for index, (proc, (stdout, stderr)) in enumerate(zip(procs, outputs)):
+        if proc.returncode != 0:
+            errors.append(
+                f"worker {index} exited {proc.returncode}: {stderr.decode(errors='replace')[-500:]}"
+            )
+            continue
+        summary = json.loads(stdout.decode().strip().splitlines()[-1])
+        node_id = int(summary["node_id"])
+        delivered[node_id] = [bytes.fromhex(h) for h in summary["delivered_hex"]]
+        per_node[node_id] = {k: int(v) for k, v in summary["counters"].items()}
+        errors.extend(summary.get("errors", []))
+    return LiveReport(
+        nodes=count,
+        duration=duration,
+        delivered=delivered,
+        per_node=per_node,
+        evicted=[],
+        errors=errors,
+    )
+
+
+def run_subprocess_demo(
+    nodes: int = 8,
+    duration: float = 10.0,
+    *,
+    seed: int = 0,
+    messages: int = 2,
+    port_base: "Optional[int]" = None,
+    config_overrides: "Optional[Dict[str, object]]" = None,
+) -> LiveReport:
+    """Blocking entry point: every node in its own worker process."""
+    return asyncio.run(
+        _run_subprocess_cluster(
+            nodes,
+            duration,
+            seed=seed,
+            messages=messages,
+            port_base=port_base,
+            config_overrides=config_overrides,
+        )
+    )

@@ -1,0 +1,183 @@
+"""Bootstrap/directory service for peer discovery.
+
+A real RAC deployment needs some rendezvous point before the overlay
+exists (the paper assumes "a view containing the list of the nodes" —
+how the first view forms is out of its scope). This module provides the
+minimal version: a TCP service where nodes **register** their endpoint
+and public keys and then **wait for a roster** of N peers. The roster
+is the seed membership view; after bootstrap all protocol traffic flows
+node-to-node over the binary wire protocol, never through the
+directory.
+
+The directory protocol is deliberately not the RAC wire format — it is
+operational plumbing, not protocol surface — and uses one JSON object
+per line so subprocess workers can talk to it with a dozen lines of
+code. Key material still travels as :func:`repro.core.wire.encode_public_key`
+blobs (hex-armored), so the *keys* cross the network in their real
+encoding.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.wire import WireError, decode_public_key, encode_public_key
+from ..crypto.keys import PublicKey
+
+__all__ = ["RosterEntry", "BootstrapDirectory", "DirectoryClient"]
+
+_MAX_LINE = 1 << 20
+
+
+@dataclass(frozen=True)
+class RosterEntry:
+    """One registered node: endpoint + public key material."""
+
+    node_id: int
+    host: str
+    port: int
+    id_key: PublicKey
+    pseudonym_key: PublicKey
+
+    def to_json(self) -> "Dict[str, object]":
+        return {
+            "node_id": self.node_id,
+            "host": self.host,
+            "port": self.port,
+            "id_key": encode_public_key(self.id_key).hex(),
+            "pseudonym_key": encode_public_key(self.pseudonym_key).hex(),
+        }
+
+    @classmethod
+    def from_json(cls, obj: "Dict[str, object]") -> "RosterEntry":
+        return cls(
+            node_id=int(obj["node_id"]),
+            host=str(obj["host"]),
+            port=int(obj["port"]),
+            id_key=decode_public_key(bytes.fromhex(str(obj["id_key"]))),
+            pseudonym_key=decode_public_key(bytes.fromhex(str(obj["pseudonym_key"]))),
+        )
+
+
+class BootstrapDirectory:
+    """The rendezvous server. One per cluster; listens on localhost."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self._requested_port = port
+        self.port: "Optional[int]" = None
+        self._server: "Optional[asyncio.AbstractServer]" = None
+        self._roster: "Dict[int, RosterEntry]" = {}
+        self._changed = asyncio.Condition()
+        self.registrations = 0
+
+    @property
+    def address(self) -> "Tuple[str, int]":
+        if self.port is None:
+            raise RuntimeError("directory not started")
+        return (self.host, self.port)
+
+    async def start(self) -> "Tuple[str, int]":
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self._requested_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.address
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def roster(self) -> "List[RosterEntry]":
+        """Current registrations in ascending node-id order (the
+        canonical order every replica applies joins in)."""
+        return [self._roster[nid] for nid in sorted(self._roster)]
+
+    async def _handle_client(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                if len(line) > _MAX_LINE:
+                    await self._reply(writer, {"ok": False, "error": "request too large"})
+                    return
+                try:
+                    request = json.loads(line)
+                    response = await self._dispatch(request)
+                except (json.JSONDecodeError, WireError, KeyError, TypeError, ValueError) as exc:
+                    response = {"ok": False, "error": str(exc)}
+                await self._reply(writer, response)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _reply(writer: asyncio.StreamWriter, obj: dict) -> None:
+        writer.write(json.dumps(obj).encode() + b"\n")
+        await writer.drain()
+
+    async def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "count": len(self._roster)}
+        if op == "register":
+            entry = RosterEntry.from_json(request)
+            async with self._changed:
+                self._roster[entry.node_id] = entry
+                self.registrations += 1
+                self._changed.notify_all()
+            return {"ok": True, "count": len(self._roster)}
+        if op == "roster":
+            count = int(request.get("count", 0))
+            async with self._changed:
+                await self._changed.wait_for(lambda: len(self._roster) >= count)
+                entries = self.roster()
+            return {"ok": True, "roster": [e.to_json() for e in entries]}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+class DirectoryClient:
+    """Client side of the rendezvous protocol (one connection per call)."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+
+    async def _call(self, request: dict, timeout: float = 30.0) -> dict:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(json.dumps(request).encode() + b"\n")
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout=timeout)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if not line:
+            raise ConnectionError("directory closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise RuntimeError(f"directory refused: {response.get('error')}")
+        return response
+
+    async def register(self, entry: RosterEntry) -> int:
+        response = await self._call({"op": "register", **entry.to_json()})
+        return int(response["count"])
+
+    async def wait_roster(self, count: int, timeout: float = 30.0) -> "List[RosterEntry]":
+        """Block until ``count`` nodes registered; return them all."""
+        response = await self._call({"op": "roster", "count": count}, timeout=timeout)
+        return [RosterEntry.from_json(obj) for obj in response["roster"]]

@@ -1,0 +1,287 @@
+"""The asyncio-backed :class:`~repro.core.environment.NodeEnvironment`.
+
+Where :class:`repro.core.system.RacSystem` gives a node a simulated
+clock, a simulated star network and ground-truth membership views, a
+:class:`LiveEnvironment` gives the *same node object*:
+
+* ``now`` — the event loop's monotonic wall clock, rebased to 0 at
+  activation (so join quarantines and timer math match the simulator);
+* ``schedule`` — ``loop.call_later`` timers (cancelled on shutdown);
+* ``unicast`` — :func:`repro.core.wire.encode_message` frames queued on
+  a per-peer :class:`PeerLink`, a background task that owns one TCP
+  connection and reconnects with exponential backoff;
+* ``domain_view`` / ``group_of`` — a local *replica* of the group and
+  channel directories, built from the bootstrap roster. Ring positions
+  are pure functions of the view, so replicas that apply the same
+  membership events in the same (ascending node-id) order agree on
+  every topology without further coordination.
+
+Evictions are routed through an ``on_eviction`` hook so the cluster can
+apply them to every replica in the same loop iteration (the shared-view
+simplification of DESIGN.md §1, kept identical across substrates);
+without a hook the environment applies them locally only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Dict, List, Optional, Set
+
+from ..core.config import RacConfig
+from ..core.messages import DomainId
+from ..core.wire import encode_message
+from ..groups.channels import ChannelDirectory
+from ..groups.manager import GroupDirectory
+from ..overlay.membership import MembershipView
+from ..simnet.stats import StatsRegistry, ThroughputMeter
+from ..simnet.trace import Tracer
+from .directory import RosterEntry
+from .framing import encode_hello, write_frame
+
+__all__ = ["LiveEnvironment", "PeerLink"]
+
+#: Reconnect backoff bounds (seconds). localhost connections normally
+#: succeed first try; the backoff matters when a peer crashes or has
+#: not opened its server socket yet.
+_BACKOFF_INITIAL = 0.05
+_BACKOFF_MAX = 2.0
+#: Per-link bound on queued frames; beyond it the oldest are dropped
+#: (counted, never silent). A dead peer must not buffer unbounded RAM.
+_MAX_QUEUED_FRAMES = 4096
+
+
+class PeerLink:
+    """One outbound TCP connection to a peer, with reconnect/backoff.
+
+    Frames are popped only after a successful write+drain, giving
+    at-least-once delivery across reconnects (the receiver's dedup
+    handles the rare double).
+    """
+
+    def __init__(self, env: "LiveEnvironment", peer: RosterEntry) -> None:
+        self.env = env
+        self.peer = peer
+        self._queue: "List[bytes]" = []
+        self._wakeup = asyncio.Event()
+        self._task: "Optional[asyncio.Task]" = None
+        self._writer: "Optional[asyncio.StreamWriter]" = None
+        self.closed = False
+        self.queued_bytes = 0
+        self.connects = 0
+        self.reconnect_failures = 0
+
+    def send(self, frame: bytes) -> None:
+        if self.closed:
+            self.env.stats.add("live_frames_dropped_closed")
+            return
+        if len(self._queue) >= _MAX_QUEUED_FRAMES:
+            dropped = self._queue.pop(0)
+            self.queued_bytes -= len(dropped)
+            self.env.stats.add("live_frames_dropped_backlog")
+        self._queue.append(frame)
+        self.queued_bytes += len(frame)
+        self._wakeup.set()
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name=f"link-{self.env.node_id:x}-{self.peer.node_id:x}"
+            )
+
+    async def _run(self) -> None:
+        backoff = _BACKOFF_INITIAL
+        while not self.closed:
+            try:
+                reader, writer = await asyncio.open_connection(self.peer.host, self.peer.port)
+            except OSError:
+                self.reconnect_failures += 1
+                self.env.stats.add("live_connect_retries")
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, _BACKOFF_MAX)
+                continue
+            self._writer = writer
+            self.connects += 1
+            self.env.stats.add("live_connects")
+            backoff = _BACKOFF_INITIAL
+            try:
+                write_frame(writer, encode_hello(self.env.node_id))
+                await writer.drain()
+                while not self.closed:
+                    if not self._queue:
+                        self._wakeup.clear()
+                        await self._wakeup.wait()
+                        continue
+                    frame = self._queue[0]
+                    write_frame(writer, frame)
+                    await writer.drain()
+                    self._queue.pop(0)
+                    self.queued_bytes -= len(frame)
+                    self.env.stats.add("live_frames_sent")
+                    self.env.stats.add("live_bytes_sent", len(frame) + 4)
+            except (ConnectionError, OSError):
+                self.env.stats.add("live_link_resets")
+            finally:
+                self._writer = None
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+    def close(self) -> None:
+        """Stop the link; queued frames are abandoned."""
+        self.closed = True
+        self._wakeup.set()
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+
+class LiveEnvironment:
+    """NodeEnvironment over asyncio timers, TCP links and a roster replica."""
+
+    def __init__(
+        self,
+        node_id: int,
+        config: RacConfig,
+        roster: "List[RosterEntry]",
+        *,
+        stats: "Optional[StatsRegistry]" = None,
+        on_delivered: "Optional[Callable[[int, bytes], None]]" = None,
+        on_eviction: "Optional[Callable[[int, int, DomainId, str], None]]" = None,
+    ) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.tracer = Tracer(False)
+        self.meter = ThroughputMeter()
+        self._on_delivered = on_delivered
+        self._on_eviction = on_eviction
+
+        # Local membership replica: every node applies the roster in
+        # ascending node-id order, so all replicas agree on the rings.
+        self.directory = GroupDirectory(
+            config.num_rings, smin=config.group_min, smax=config.group_max
+        )
+        self.channels = ChannelDirectory(self.directory)
+        self.peers: "Dict[int, RosterEntry]" = {}
+        for entry in sorted(roster, key=lambda e: e.node_id):
+            self.directory.add_node(entry.node_id, entry.id_key)
+            self.peers[entry.node_id] = entry
+
+        self._links: "Dict[int, PeerLink]" = {}
+        self._timers: "Set[asyncio.TimerHandle]" = set()
+        self._loop: "Optional[asyncio.AbstractEventLoop]" = None
+        self._epoch: "Optional[float]" = None
+        self.errors: "List[BaseException]" = []
+        #: Set by LiveNode so evictions can purge the node's monitors.
+        self.node = None
+
+    # -- clock ----------------------------------------------------------------
+    def start_clock(self) -> None:
+        """Rebase ``now`` to 0 on the running loop; call at activation."""
+        self._loop = asyncio.get_running_loop()
+        self._epoch = self._loop.time()
+
+    @property
+    def now(self) -> float:
+        if self._loop is None or self._epoch is None:
+            return 0.0
+        return self._loop.time() - self._epoch
+
+    def schedule(self, delay: float, callback, *args) -> None:
+        if self._loop is None:
+            raise RuntimeError("start_clock() before scheduling")
+        box: "List[asyncio.TimerHandle]" = []
+
+        def _fire() -> None:
+            if box:
+                self._timers.discard(box[0])
+            try:
+                callback(*args)
+            except Exception as exc:  # a node bug must not kill the loop
+                self.errors.append(exc)
+                self.stats.add("live_callback_errors")
+
+        handle = self._loop.call_later(max(0.0, delay), _fire)
+        box.append(handle)
+        self._timers.add(handle)
+
+    # -- transport -------------------------------------------------------------
+    def unicast(self, src: int, dst: int, payload, size_bytes: int) -> None:
+        peer = self.peers.get(dst)
+        if peer is None:
+            self.stats.add("live_unicast_unknown_peer")
+            return
+        link = self._links.get(dst)
+        if link is None:
+            link = self._links[dst] = PeerLink(self, peer)
+        link.send(encode_message(payload))
+
+    def uplink_backlog_seconds(self, node_id: int) -> float:
+        queued = sum(link.queued_bytes for link in self._links.values())
+        return queued * 8 / self.config.link_bandwidth_bps
+
+    # -- membership ------------------------------------------------------------
+    def group_of(self, node_id: int) -> int:
+        return self.directory.group_of_node(node_id).gid
+
+    def domain_view(self, domain: DomainId) -> "Optional[MembershipView]":
+        kind, key = domain
+        if kind == "group":
+            group = self.directory.groups.get(key)
+            return group.view if group is not None else None
+        if kind == "channel":
+            gid_a, gid_b = key
+            if gid_a not in self.directory.groups or gid_b not in self.directory.groups:
+                return None
+            return self.channels.channel_view(gid_a, gid_b)
+        raise ValueError(f"unknown domain kind {kind!r}")
+
+    def send_interval_for(self, node_id: int) -> float:
+        group = self.directory.group_of_node(node_id)
+        return self.config.derived_send_interval(len(group))
+
+    def usable_as_relay(self, node_id: int) -> bool:
+        """The paper's 2T quarantine. Every roster node joined at the
+        epoch, so the whole cohort clears quarantine together."""
+        if node_id not in self.peers:
+            return False
+        return self.now >= 2 * self.config.join_settle_time
+
+    # -- upcalls ---------------------------------------------------------------
+    def on_delivered(self, node_id: int, payload: bytes) -> None:
+        self.meter.record(self.now, len(payload))
+        if self._on_delivered is not None:
+            self._on_delivered(node_id, payload)
+
+    def report_eviction(self, reporter: int, accused: int, domain: DomainId, kind: str) -> None:
+        self.stats.add("eviction_reports")
+        if self._on_eviction is not None:
+            self._on_eviction(reporter, accused, domain, kind)
+        else:
+            self.apply_eviction(accused)
+
+    def apply_eviction(self, accused: int) -> None:
+        """Remove a node from this replica (idempotent)."""
+        if accused not in self.peers:
+            return
+        del self.peers[accused]
+        link = self._links.pop(accused, None)
+        if link is not None:
+            link.close()
+        self.directory.remove_node(accused)
+        self.channels.invalidate()
+        if self.node is not None and self.node.node_id != accused:
+            self.node.on_evicted(accused)
+        self.stats.add("evictions_applied")
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        for handle in self._timers:
+            handle.cancel()
+        self._timers.clear()
+        for link in self._links.values():
+            link.close()
+        self._links.clear()

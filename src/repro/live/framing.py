@@ -1,0 +1,81 @@
+"""Length-prefixed record framing over asyncio streams.
+
+The wire format of one RAC TCP connection:
+
+* one **hello** frame — the sender's 16-byte node id — immediately
+  after connecting (TCP gives no peer identity; the protocol's
+  predecessor checks need one);
+* then a stream of **record** frames, each a
+  :func:`repro.core.wire.encode_message` blob.
+
+Every frame is ``>I`` length-prefixed, network byte order, matching the
+conventions of :mod:`repro.core.wire`. Frames above :data:`MAX_FRAME`
+are rejected before allocation — a mutated length prefix must not make
+a node try to buffer 4 GiB.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+from ..core.wire import WireError
+
+__all__ = [
+    "MAX_FRAME",
+    "encode_hello",
+    "decode_hello",
+    "write_frame",
+    "read_frame",
+    "read_hello",
+]
+
+_U32 = struct.Struct(">I")
+_ID_LEN = 16
+
+#: Upper bound on one frame's payload. The largest legitimate frame is
+#: a Broadcast of one padded message (10 kB in the paper's config) plus
+#: tens of bytes of header; 4 MiB leaves room for experiments with
+#: bigger messages while bounding what a corrupted prefix can request.
+MAX_FRAME = 4 * 1024 * 1024
+
+
+def encode_hello(node_id: int) -> bytes:
+    """The link-layer hello payload: the sender's 16-byte id."""
+    if not 0 <= node_id < (1 << 128):
+        raise WireError(f"node id out of range: {node_id}")
+    return node_id.to_bytes(_ID_LEN, "big")
+
+
+def decode_hello(payload: bytes) -> int:
+    if len(payload) != _ID_LEN:
+        raise WireError(f"hello frame must be {_ID_LEN} bytes, got {len(payload)}")
+    return int.from_bytes(payload, "big")
+
+
+def write_frame(writer: asyncio.StreamWriter, payload: bytes) -> None:
+    """Queue one length-prefixed frame on the writer (no drain).
+
+    Callers that need backpressure await ``writer.drain()`` themselves;
+    the per-peer link task does so after each batch.
+    """
+    if len(payload) > MAX_FRAME:
+        raise WireError(f"frame of {len(payload)} bytes exceeds MAX_FRAME")
+    writer.write(_U32.pack(len(payload)) + payload)
+
+
+async def read_frame(reader: asyncio.StreamReader) -> bytes:
+    """Read one frame; raises :class:`WireError` on an oversized length
+    prefix and :class:`asyncio.IncompleteReadError` on EOF."""
+    header = await reader.readexactly(_U32.size)
+    (length,) = _U32.unpack(header)
+    if length > MAX_FRAME:
+        raise WireError(f"peer announced a {length}-byte frame (max {MAX_FRAME})")
+    if length == 0:
+        return b""
+    return await reader.readexactly(length)
+
+
+async def read_hello(reader: asyncio.StreamReader) -> int:
+    """Read and validate the connection-opening hello frame."""
+    return decode_hello(await read_frame(reader))

@@ -1,0 +1,210 @@
+"""One live RAC node: TCP server + state machine + environment.
+
+A :class:`LiveNode` owns
+
+* a listening TCP socket (inbound broadcasts and accusations from ring
+  predecessors),
+* the :class:`repro.core.node.RacNode` state machine — the *same class*
+  the simulator runs, unchanged,
+* its :class:`repro.live.environment.LiveEnvironment`.
+
+Inbound connections open with a hello frame naming the sender; every
+following frame is decoded with :func:`repro.core.wire.decode_message`
+and dispatched into the state machine. Malformed frames increment a
+counter and are skipped — framing keeps the stream in sync, so one
+corrupted record never poisons the connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Callable, Dict, List, Optional, Set
+
+from ..core.config import RacConfig
+from ..core.identity import NodeMaterial
+from ..core.messages import DomainId
+from ..core.node import RacNode
+from ..core.wire import WireError, decode_message
+from .directory import DirectoryClient, RosterEntry
+from .environment import LiveEnvironment
+from .framing import read_frame, read_hello
+
+__all__ = ["LiveNode"]
+
+
+class LiveNode:
+    """Hosts one RAC participant on the event loop."""
+
+    def __init__(
+        self,
+        material: NodeMaterial,
+        config: RacConfig,
+        directory_host: str,
+        directory_port: int,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        on_delivered: "Optional[Callable[[int, bytes], None]]" = None,
+        on_eviction: "Optional[Callable[[int, int, DomainId, str], None]]" = None,
+    ) -> None:
+        self.material = material
+        self.config = config
+        self.host = host
+        self._requested_port = port
+        self.port: "Optional[int]" = None
+        self._client = DirectoryClient(directory_host, directory_port)
+        self._on_delivered = on_delivered
+        self._on_eviction = on_eviction
+
+        self._server: "Optional[asyncio.AbstractServer]" = None
+        self._inbound: "Set[asyncio.StreamWriter]" = set()
+        self._inbound_tasks: "Set[asyncio.Task]" = set()
+        self.env: "Optional[LiveEnvironment]" = None
+        self.rac: "Optional[RacNode]" = None
+        self.killed = False
+
+    @property
+    def node_id(self) -> int:
+        return self.material.node_id
+
+    # -- lifecycle -------------------------------------------------------------
+    async def start(self) -> None:
+        """Open the server socket and register with the directory."""
+        self._server = await asyncio.start_server(
+            self._accept, self.host, self._requested_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        await self._client.register(self.roster_entry())
+
+    def roster_entry(self) -> RosterEntry:
+        if self.port is None:
+            raise RuntimeError("start() the node before building its roster entry")
+        return RosterEntry(
+            node_id=self.node_id,
+            host=self.host,
+            port=self.port,
+            id_key=self.material.id_keypair.public,
+            pseudonym_key=self.material.pseudonym_keypair.public,
+        )
+
+    async def activate(
+        self, count: int, roster: "Optional[List[RosterEntry]]" = None
+    ) -> None:
+        """Wait for the full roster, build the environment, start the
+        origination loop. ``roster`` short-circuits the directory wait
+        when the caller (an in-process cluster) already holds it."""
+        if roster is None:
+            roster = await self._client.wait_roster(count)
+        self.env = LiveEnvironment(
+            self.node_id,
+            self.config,
+            roster,
+            on_delivered=self._on_delivered,
+            on_eviction=self._on_eviction,
+        )
+        self.rac = RacNode(
+            self.node_id,
+            self.config,
+            self.env,
+            self.material.id_keypair,
+            self.material.pseudonym_keypair,
+            rng=random.Random(self.material.node_seed),
+        )
+        self.env.node = self.rac
+        self.env.start_clock()
+        self.rac.start()
+
+    async def shutdown(self) -> None:
+        """Graceful stop: halt the loop, cancel timers, close sockets."""
+        if self.rac is not None:
+            self.rac.stop()
+        if self.env is not None:
+            self.env.close()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._drop_inbound()
+        if self._inbound_tasks:
+            await asyncio.gather(*self._inbound_tasks, return_exceptions=True)
+            self._inbound_tasks.clear()
+
+    def _drop_inbound(self) -> None:
+        """Abort accepted connections; their handlers exit through the
+        normal ConnectionError path (cancelling the handler tasks
+        instead would trip asyncio.streams' done-callback)."""
+        for writer in list(self._inbound):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+        self._inbound.clear()
+
+    def kill(self) -> None:
+        """Abrupt crash: everything torn down mid-flight, no goodbyes.
+
+        Used by fault tests — peers observe reset connections and a
+        silent ring member, exactly what a crashed process looks like.
+        """
+        self.killed = True
+        if self.rac is not None:
+            self.rac.stop()
+        if self.env is not None:
+            self.env.close()
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        self._drop_inbound()
+
+    # -- inbound ---------------------------------------------------------------
+    async def _accept(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._inbound.add(writer)
+        task = asyncio.current_task()
+        if task is not None:
+            self._inbound_tasks.add(task)
+        try:
+            src = await read_hello(reader)
+            while True:
+                frame = await read_frame(reader)
+                self._dispatch(src, frame)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError, WireError):
+            # EOF / reset / corrupted hello or length prefix: drop the
+            # connection; the sender's link task reconnects if it cares.
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown racing the aborted transport: exit normally
+            # so asyncio.streams' done-callback (which re-raises from
+            # cancelled handler tasks) stays quiet.
+            pass
+        finally:
+            if task is not None:
+                self._inbound_tasks.discard(task)
+            self._inbound.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _dispatch(self, src: int, frame: bytes) -> None:
+        if self.env is None or self.rac is None:
+            return  # frames racing ahead of activation are dropped
+        try:
+            message = decode_message(frame)
+        except WireError:
+            self.env.stats.add("live_frames_rejected")
+            return
+        self.env.stats.add("live_frames_received")
+        self.env.stats.add("live_bytes_received", len(frame) + 4)
+        try:
+            self.rac.on_message(src, message)
+        except Exception as exc:  # a node bug must not kill the reader
+            self.env.errors.append(exc)
+            self.env.stats.add("live_dispatch_errors")
+
+    # -- reporting -------------------------------------------------------------
+    def counters(self) -> "Dict[str, int]":
+        return self.env.stats.as_dict() if self.env is not None else {}
+
+    def delivered(self) -> "List[bytes]":
+        return list(self.rac.delivered) if self.rac is not None else []

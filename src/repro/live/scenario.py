@@ -1,0 +1,118 @@
+"""Sim/live parity: one scenario, two substrates, same deliveries.
+
+The parity claim the live runtime is held to (ISSUE: "runs the same
+scenario over simnet and over live TCP and asserts both deliver the
+same message set with zero spurious accusations"):
+
+* **Identical populations.** Both substrates call
+  :func:`repro.core.identity.build_population`, so node ids, keypairs
+  and per-node RNG seeds are byte-identical.
+* **Identical plan.** Each node queues the same payloads to the same
+  destinations (creation-order successor ring).
+* **Compared on outcomes, not timing.** Wall clocks jitter; simulated
+  clocks do not. What must match is the *multiset of delivered
+  payloads* plus zero accusations and zero evictions on both sides.
+  Per-message latency and counter magnitudes legitimately differ.
+
+``parity_config`` disables the periodic blacklist shuffle
+(``blacklist_period=0``) on both substrates — the shuffle is hosted by
+the system layer, which the live runtime does not replicate yet — and
+stretches timers so wall-clock scheduling jitter cannot fake a
+misbehaviour (a relay that is 40 ms late is a freerider to a 50 ms
+timeout, but an innocent victim of the OS scheduler).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.config import RacConfig
+from ..core.system import RacSystem
+from .cluster import LiveCluster, live_config
+
+__all__ = [
+    "ParityScenario",
+    "ScenarioOutcome",
+    "parity_config",
+    "run_live_scenario",
+    "run_sim_scenario",
+]
+
+
+def parity_config(**overrides) -> RacConfig:
+    """The shared configuration for both substrates of a parity run."""
+    return live_config(**overrides)
+
+
+@dataclass(frozen=True)
+class ParityScenario:
+    """One scenario, runnable on either substrate."""
+
+    nodes: int = 8
+    messages_per_node: int = 2
+    duration: float = 8.0
+    seed: int = 0
+
+    def payloads(self) -> "List[bytes]":
+        """Every payload the plan originates (the expected delivery set
+        when all of them arrive)."""
+        return sorted(
+            f"live/{self.seed}/{index}/{m}".encode()
+            for index in range(self.nodes)
+            for m in range(self.messages_per_node)
+        )
+
+
+@dataclass
+class ScenarioOutcome:
+    """What one substrate produced, reduced to the parity comparands."""
+
+    substrate: str
+    delivered: "List[bytes]"  # sorted multiset of delivered payloads
+    accusations: int
+    evictions: int
+    counters: "Dict[str, int]"
+
+
+def run_sim_scenario(scenario: ParityScenario, config: "RacConfig | None" = None) -> ScenarioOutcome:
+    """The scenario on the deterministic simulator."""
+    config = config if config is not None else parity_config()
+    system = RacSystem(config, seed=scenario.seed)
+    node_ids = system.bootstrap(scenario.nodes)
+    for index, src in enumerate(node_ids):
+        dst = node_ids[(index + 1) % len(node_ids)]
+        for m in range(scenario.messages_per_node):
+            system.send(src, dst, f"live/{scenario.seed}/{index}/{m}".encode())
+    system.run(scenario.duration)
+    delivered = sorted(
+        payload for nid in node_ids for payload in system.delivered_messages(nid)
+    )
+    counters = system.stats.as_dict()
+    accusations = sum(v for k, v in counters.items() if k.startswith("accusation_"))
+    return ScenarioOutcome(
+        substrate="sim",
+        delivered=delivered,
+        accusations=accusations,
+        evictions=len(system.evicted),
+        counters=counters,
+    )
+
+
+async def run_live_scenario(
+    scenario: ParityScenario, config: "RacConfig | None" = None
+) -> ScenarioOutcome:
+    """The scenario over real TCP sockets (tasks-mode cluster)."""
+    config = config if config is not None else parity_config()
+    cluster = LiveCluster(scenario.nodes, config=config, seed=scenario.seed)
+    await cluster.start()
+    cluster.queue_ring_messages(scenario.messages_per_node)
+    await cluster.run_for(scenario.duration)
+    report = await cluster.shutdown(scenario.duration)
+    return ScenarioOutcome(
+        substrate="live",
+        delivered=report.delivered_multiset(),
+        accusations=report.accusations,
+        evictions=len(report.evicted),
+        counters=report.counters(),
+    )

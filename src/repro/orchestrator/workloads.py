@@ -189,6 +189,44 @@ def protocol_run(params: "Dict[str, Any]", seed: int, ctx: WorkerContext) -> "Di
 
 
 # ---------------------------------------------------------------------------
+# live runtime (real TCP sockets, wall clock)
+# ---------------------------------------------------------------------------
+
+
+@workload("live_point")
+def live_point(params: "Dict[str, Any]", seed: int, ctx: WorkerContext) -> "Dict[str, float]":
+    """One live-cluster run: N asyncio-hosted nodes over localhost TCP.
+
+    Parameters: ``nodes``, ``duration`` (*wall* seconds — live runs
+    spend real time), ``messages``, plus any :data:`_CONFIG_KEYS`
+    RacConfig override. Not checkpointable (a TCP cluster cannot be
+    snapshotted mid-flight); a crashed attempt reruns from scratch,
+    which the deterministic population makes safe.
+    """
+    from ..live.cluster import live_config, run_demo
+
+    overrides = {k: params[k] for k in _CONFIG_KEYS if k in params}
+    report = run_demo(
+        int(params.get("nodes", 8)),
+        float(params.get("duration", 5.0)),
+        config=live_config(**overrides),
+        seed=seed,
+        messages=int(params.get("messages", 2)),
+    )
+    ctx.maybe_crash()
+    totals = report.counters()
+    return {
+        "deliveries": float(report.deliveries),
+        "accusations": float(report.accusations),
+        "evictions": float(len(report.evicted)),
+        "live_frames_sent": float(totals.get("live_frames_sent", 0)),
+        "live_bytes_sent": float(totals.get("live_bytes_sent", 0)),
+        "live_link_resets": float(totals.get("live_link_resets", 0)),
+        "live_callback_errors": float(len(report.errors)),
+    }
+
+
+# ---------------------------------------------------------------------------
 # analytic model points (the figure sweeps)
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,101 @@
+"""Sim/live parity and live fault tolerance.
+
+These are the acceptance tests of the live runtime (ISSUE 4): the same
+deterministic 8-node scenario run over the packet simulator and over
+real localhost TCP must deliver the same anonymous-payload multiset
+with zero spurious accusations — and a live cluster must survive one
+node crashing mid-run without the survivors accusing each other.
+
+Live runs spend wall-clock time; the durations here are the smallest
+that reliably cover a full dissemination round on a loaded CI box.
+"""
+
+import asyncio
+
+from repro.live.cluster import LiveCluster, live_config
+from repro.live.scenario import (
+    ParityScenario,
+    parity_config,
+    run_live_scenario,
+    run_sim_scenario,
+)
+
+SCENARIO = ParityScenario(nodes=8, messages_per_node=2, duration=8.0, seed=0)
+
+
+class TestParity:
+    def test_sim_and_live_deliver_the_same_messages(self):
+        sim = run_sim_scenario(SCENARIO)
+        live = asyncio.run(run_live_scenario(SCENARIO))
+
+        # Both substrates deliver the complete plan...
+        assert sim.delivered == SCENARIO.payloads()
+        assert live.delivered == SCENARIO.payloads()
+        # ...which makes the multisets equal by transitivity — stated
+        # directly because *this* equality is the parity claim.
+        assert sim.delivered == live.delivered
+
+        # And neither substrate manufactured misbehaviour.
+        assert sim.accusations == 0 and live.accusations == 0
+        assert sim.evictions == 0 and live.evictions == 0
+
+    def test_live_run_is_population_deterministic(self):
+        """Two live runs with the same seed host the same node ids (the
+        delivery *timing* differs; the population must not)."""
+
+        async def ids(seed):
+            cluster = LiveCluster(4, config=parity_config(), seed=seed)
+            await cluster.start()
+            report = await cluster.shutdown()
+            return sorted(report.per_node)
+
+        first = asyncio.run(ids(3))
+        second = asyncio.run(ids(3))
+        assert first == second
+        assert first != asyncio.run(ids(4))
+
+
+class TestLiveFaults:
+    def test_survivors_keep_delivering_after_a_crash(self):
+        """Kill one node's tasks mid-run: the rest keep converging.
+
+        The victim is an origin of 2 planned messages, so the full plan
+        can no longer complete; what must hold is that messages between
+        survivors keep flowing and nobody spuriously *evicts* anyone —
+        accusations against the dead node are legitimate and allowed.
+        """
+
+        async def scenario():
+            config = live_config(
+                # Long misbehaviour timers: the crash happens mid-run and
+                # the post-crash window stays below every accusation
+                # threshold, so the test asserts clean *delivery*
+                # behaviour, not eviction behaviour.
+                relay_timeout=60.0,
+                predecessor_timeout=60.0,
+                rate_window=60.0,
+            )
+            cluster = LiveCluster(6, config=config, seed=1)
+            await cluster.start()
+            cluster.queue_ring_messages(2)
+            await cluster.run_for(2.0)
+            victim_id = cluster.kill_node(2)
+            await cluster.run_for(4.0)
+            report = await cluster.shutdown(6.0)
+            return victim_id, report
+
+        victim_id, report = asyncio.run(scenario())
+
+        survivors = [nid for nid in report.per_node if nid != victim_id]
+        assert len(survivors) == 5
+        # Survivors kept delivering: the plan's 12 messages minus the
+        # victim's own traffic still mostly arrive.
+        survivor_deliveries = sum(len(report.delivered[nid]) for nid in survivors)
+        assert survivor_deliveries >= 1
+        # Nobody was evicted by the cluster's coordinator, and no node
+        # accused a *live* peer (accusations naming the victim are fine
+        # but suppressed here by the long timers).
+        assert report.evicted == []
+        # The dead node's links show up as resets/retries on survivors,
+        # never as unhandled errors.
+        assert report.errors == []

@@ -1,5 +1,7 @@
-"""Property-based tests for the wire codecs: decode(encode(x)) == x."""
+"""Property-based tests for the wire codecs: decode(encode(x)) == x,
+and decode on arbitrary / mutated bytes fails only with WireError."""
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.messages import (
@@ -13,7 +15,7 @@ from repro.core.messages import (
     channel_domain,
     group_domain,
 )
-from repro.core.wire import decode_message, encode_message
+from repro.core.wire import WireError, decode_message, encode_message
 from repro.crypto.keys import KeyPair
 
 ids = st.integers(min_value=0, max_value=(1 << 128) - 1)
@@ -76,3 +78,71 @@ def test_roundtrip(message):
 def test_distinct_messages_encode_distinctly(a, b):
     if a != b:
         assert encode_message(a) != encode_message(b)
+
+
+# ---------------------------------------------------------------------------
+# adversarial inputs: decode_message must fail *only* with WireError
+# ---------------------------------------------------------------------------
+
+
+def _decode_total(data: bytes):
+    """decode_message as a total function: the value, or WireError.
+
+    Any other exception (struct.error, IndexError, KeyError, ...) is a
+    hardening bug and propagates to fail the test.
+    """
+    try:
+        return decode_message(bytes(data))
+    except WireError:
+        return None
+
+
+@settings(max_examples=200)
+@given(st.binary(min_size=0, max_size=600))
+def test_arbitrary_bytes_never_leak_internal_errors(data):
+    _decode_total(data)
+
+
+@settings(max_examples=100)
+@given(messages)
+def test_truncations_raise_only_wireerror(message):
+    """Every strict prefix of a valid encoding must be rejected cleanly
+    (a short TCP read or cut frame is routine, not exceptional)."""
+    encoded = encode_message(message)
+    for cut in range(len(encoded)):
+        assert _decode_total(encoded[:cut]) != message
+
+
+@settings(max_examples=50)
+@given(messages, st.data())
+def test_byte_mutations_raise_only_wireerror(message, data):
+    """Flip bytes of a valid encoding one position at a time: every
+    mutation either decodes to *some* message or raises WireError —
+    never an internal exception."""
+    encoded = bytearray(encode_message(message))
+    positions = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(encoded) - 1),
+            min_size=1,
+            max_size=8,
+            unique=True,
+        )
+    )
+    for pos in positions:
+        mutated = bytearray(encoded)
+        mutated[pos] = data.draw(
+            st.integers(min_value=0, max_value=255).filter(lambda b: b != encoded[pos]),
+            label=f"byte@{pos}",
+        )
+        _decode_total(bytes(mutated))
+
+
+def test_deeply_nested_join_announce_is_rejected():
+    """A hand-built frame nesting JoinAnnounce inside itself past the
+    depth limit must raise WireError, not RecursionError."""
+    inner = encode_message(ReadyMessage(node_id=7))
+    for _ in range(64):
+        # type tag 0x04 (JoinAnnounce) + length-prefixed inner + sponsor id
+        inner = bytes([0x04]) + len(inner).to_bytes(4, "big") + inner + (0).to_bytes(16, "big")
+    with pytest.raises(WireError):
+        decode_message(inner)

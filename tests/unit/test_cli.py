@@ -118,3 +118,34 @@ class TestSweep:
         )
         capsys.readouterr()
         assert main(["sweep", "aggregate", "--run-dir", run_dir, "--metric", "nope"]) == 1
+
+
+class TestLive:
+    def test_demo_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["live"])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["live", "demo"])
+        assert args.nodes == 8 and args.duration == 10.0 and args.port_base is None
+        assert not args.subprocess and not args.check
+
+    def test_demo_options(self):
+        args = build_parser().parse_args(
+            ["live", "demo", "--nodes", "4", "--duration", "2.5", "--port-base", "7100", "--check"]
+        )
+        assert args.nodes == 4 and args.duration == 2.5
+        assert args.port_base == 7100 and args.check
+
+    def test_demo_runs_a_small_cluster(self, capsys):
+        assert main(["live", "demo", "--nodes", "3", "--duration", "2", "--messages", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "live cluster: 3 nodes" in out
+        assert "anonymous deliveries" in out
+
+    def test_demo_check_passes_on_healthy_run(self, capsys):
+        assert (
+            main(["live", "demo", "--nodes", "3", "--duration", "2", "--messages", "1", "--check"])
+            == 0
+        )
+        assert "FAILED" not in capsys.readouterr().out
