@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-baseline ci-bench-smoke sweep-smoke live-smoke report examples ci clean
+.PHONY: install test bench bench-baseline ci-bench-smoke sweep-smoke live-smoke chaos-smoke report examples ci clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -36,6 +36,10 @@ sweep-smoke:  # 2x2 sweep on 2 workers with one injected crash; must recover
 live-smoke:  # 8 live nodes over real TCP for ~10s; >=1 delivery, 0 evictions
 	PYTHONPATH=src $(PYTHON) -m repro live demo --nodes 8 --duration 10 --check
 
+chaos-smoke:  # seeded crash-restart + partition on a 6-node live cluster, invariant-checked
+	PYTHONPATH=src $(PYTHON) -m repro chaos run --substrate live --plan smoke \
+		--nodes 6 --horizon 15 --seed 0 --check
+
 report:
 	$(PYTHON) -m repro report --output results/full_report.txt
 
@@ -44,6 +48,7 @@ ci:  # what .github/workflows/ci.yml runs
 	$(PYTHON) experiments/fault_sweep.py --smoke
 	$(MAKE) sweep-smoke
 	$(MAKE) live-smoke
+	$(MAKE) chaos-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_smoke.py -q
 
 examples:

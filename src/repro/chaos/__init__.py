@@ -1,0 +1,52 @@
+"""Unified chaos layer: one fault plan, two substrates, checked invariants.
+
+The modules, in dependency order:
+
+* :mod:`repro.chaos.plan` — :class:`FaultPlan`, the declarative seeded
+  timeline (crash, crash-restart, partition, loss, degradation,
+  reorder, directory outage) that compiles onto the simulator's
+  :class:`repro.simnet.faults.FaultInjector` or onto the live backend;
+* :mod:`repro.chaos.proxy` — :class:`ChaosProxy`, the in-process fault
+  shim that shapes real TCP frames (drop/delay/reorder/black-hole) at
+  the live environment's unicast chokepoint;
+* :mod:`repro.chaos.supervisor` — :class:`ChaosSupervisor`, which plays
+  the timeline against a live cluster: kills nodes, restarts them with
+  the same identity through the directory, and bounces the directory;
+* :mod:`repro.chaos.invariants` — :class:`InvariantChecker`, the judge:
+  no honest eviction, clean final blacklists, delivery resumes within
+  the heal bound after every fault window;
+* :mod:`repro.chaos.run` — ``run_chaos_sim`` / ``run_chaos_live``, the
+  one-call entry points behind ``repro chaos run``, the ``chaos_point``
+  sweep workload and ``experiments/chaos_soak.py``.
+"""
+
+from .invariants import InvariantChecker, InvariantReport, Violation
+from .plan import FaultEvent, FaultPlan, smoke_plan, storm_plan
+from .proxy import ChaosProxy
+from .run import (
+    ChaosOutcome,
+    chaos_live_config,
+    chaos_sim_config,
+    run_chaos_live,
+    run_chaos_live_blocking,
+    run_chaos_sim,
+)
+from .supervisor import ChaosSupervisor
+
+__all__ = [
+    "ChaosOutcome",
+    "ChaosProxy",
+    "ChaosSupervisor",
+    "FaultEvent",
+    "FaultPlan",
+    "InvariantChecker",
+    "InvariantReport",
+    "Violation",
+    "chaos_live_config",
+    "chaos_sim_config",
+    "run_chaos_live",
+    "run_chaos_live_blocking",
+    "run_chaos_sim",
+    "smoke_plan",
+    "storm_plan",
+]

@@ -1,0 +1,218 @@
+"""In-process fault shim for the live runtime.
+
+The simulator injects faults at its star router; the live runtime has
+no router — every node owns real TCP links. The :class:`ChaosProxy`
+is the equivalent chokepoint: :meth:`repro.live.environment.LiveEnvironment.unicast`
+hands every outbound frame to the installed shim, which decides —
+deterministically from the plan's seed — whether the frame is
+
+* **black-holed** (an active partition separates sender and receiver),
+* **dropped** (an active loss window's Bernoulli draw fires),
+* **delayed** (an active degradation window adds the serialization
+  surplus a ``factor``-slower link would cost the frame),
+* **reordered** (buffered into a small window and flushed shuffled), or
+* passed through untouched.
+
+Shaping sender-side covers both directions of every link — each
+direction's sender holds a shim — and keeps the TCP streams themselves
+healthy: a shaped frame is never half-written, so framing never
+desynchronizes. (Crash events are *not* the proxy's job: killing and
+restarting nodes changes real sockets and lives in
+:mod:`repro.chaos.supervisor`.)
+
+Every verdict is counted into the **sending node's** stats registry, so
+``LiveReport.counters()`` reports what the proxy actually did — the
+chaos soak's "what happened" is in the same table as the protocol's.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..simnet.stats import StatsRegistry
+from .plan import FaultPlan
+
+__all__ = ["ChaosProxy"]
+
+
+class _Window:
+    """One active-time interval with kind-specific payload."""
+
+    __slots__ = ("start", "end", "node", "rate", "factor", "window", "sides")
+
+    def __init__(self, start, end, *, node=None, rate=0.0, factor=1.0, window=0, sides=None):
+        self.start = start
+        self.end = end
+        self.node = node
+        self.rate = rate
+        self.factor = factor
+        self.window = window
+        self.sides = sides  # (frozenset, frozenset) for partitions
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+class ChaosProxy:
+    """Plan-driven frame shaping for one live cluster.
+
+    ``node_ids`` is the creation-order population (index ``i`` in the
+    plan is ``node_ids[i]`` on the wire). The proxy clock starts at
+    :meth:`start` — call it at cluster activation so plan times line up
+    with the nodes' rebased clocks.
+    """
+
+    def __init__(
+        self, plan: FaultPlan, node_ids: "List[int]", *, bandwidth_bps: float = 100e6
+    ) -> None:
+        plan.validate(len(node_ids))
+        self.plan = plan
+        self.node_ids = list(node_ids)
+        #: Nominal link rate the degradation surplus is computed
+        #: against (the cluster config's ``link_bandwidth_bps``).
+        self.bandwidth_bps = bandwidth_bps
+        self.rng = random.Random(plan.seed ^ 0xC4A05)
+        self._loop: "Optional[asyncio.AbstractEventLoop]" = None
+        self._epoch: "Optional[float]" = None
+        self._stats: "Dict[int, StatsRegistry]" = {}
+        self._timers: "List[asyncio.TimerHandle]" = []
+        #: (src_id, dst_id) → frames held back by an active reorder window.
+        self._held: "Dict[Tuple[int, int], List[Tuple[bytes, Callable[[bytes], None]]]]" = {}
+
+        self._partitions: "List[_Window]" = []
+        self._loss: "List[_Window]" = []
+        self._degrade: "List[_Window]" = []
+        self._reorder: "List[_Window]" = []
+        for event in plan.schedule():
+            if event.kind == "partition":
+                sides = (
+                    frozenset(node_ids[i] for i in event.side_a),
+                    frozenset(node_ids[i] for i in event.side_b),
+                )
+                self._partitions.append(_Window(event.at, event.end, sides=sides))
+            elif event.kind == "loss":
+                node = None if event.node is None else node_ids[event.node]
+                self._loss.append(_Window(event.at, event.end, node=node, rate=event.rate))
+            elif event.kind == "degrade":
+                self._degrade.append(
+                    _Window(event.at, event.end, node=node_ids[event.node], factor=event.factor)
+                )
+            elif event.kind == "reorder":
+                self._reorder.append(
+                    _Window(event.at, event.end, node=node_ids[event.node], window=event.window)
+                )
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self, loop: "Optional[asyncio.AbstractEventLoop]" = None) -> None:
+        """Anchor plan t=0 to the loop's clock; call at activation."""
+        self._loop = loop if loop is not None else asyncio.get_running_loop()
+        self._epoch = self._loop.time()
+        # Flush whatever a reorder window still holds the moment it
+        # closes — traffic after the window must not stall behind it.
+        for win in self._reorder:
+            self._timers.append(
+                self._loop.call_at(self._epoch + win.end, self._flush_node, win.node)
+            )
+
+    @property
+    def now(self) -> float:
+        if self._loop is None or self._epoch is None:
+            return 0.0
+        return self._loop.time() - self._epoch
+
+    def register(self, node_id: int, stats: StatsRegistry) -> None:
+        """Route this node's shaping verdicts into its stats registry
+        (re-register after a supervisor restart swaps the registry)."""
+        self._stats[node_id] = stats
+
+    def close(self) -> None:
+        for handle in self._timers:
+            handle.cancel()
+        self._timers.clear()
+        for key in list(self._held):
+            self._flush_link(key)
+
+    # -- the per-frame verdict -------------------------------------------------
+    def filter(self, src: int, dst: int, frame: bytes, send: "Callable[[bytes], None]") -> None:
+        """Decide one outbound frame's fate. ``send`` enqueues it on the
+        real :class:`repro.live.environment.PeerLink` when allowed."""
+        now = self.now
+        if self._partitioned(src, dst, now):
+            self._count(src, "chaos_frames_blackholed")
+            return
+        rate = self._loss_rate(src, dst, now)
+        if rate > 0.0 and self.rng.random() < rate:
+            self._count(src, "chaos_frames_dropped")
+            return
+        reorder = self._active_reorder(src, now)
+        if reorder is not None:
+            self._hold(src, dst, frame, send, reorder.window)
+            return
+        delay = self._degrade_delay(src, dst, len(frame), now)
+        if delay > 0.0 and self._loop is not None:
+            self._count(src, "chaos_frames_delayed")
+            self._timers.append(self._loop.call_later(delay, send, frame))
+            return
+        send(frame)
+
+    # -- window lookups ----------------------------------------------------
+    def _partitioned(self, src: int, dst: int, now: float) -> bool:
+        for win in self._partitions:
+            if win.active(now):
+                a, b = win.sides
+                if (src in a and dst in b) or (src in b and dst in a):
+                    return True
+        return False
+
+    def _loss_rate(self, src: int, dst: int, now: float) -> float:
+        survive = 1.0
+        for win in self._loss:
+            if win.active(now) and win.node in (None, src, dst):
+                survive *= 1.0 - win.rate
+        return 1.0 - survive
+
+    def _degrade_delay(self, src: int, dst: int, size: int, now: float) -> float:
+        """Serialization surplus of the slowest active degradation on
+        either endpoint: ``bits/(bps·factor) − bits/bps``."""
+        factor = 1.0
+        for win in self._degrade:
+            if win.active(now) and win.node in (src, dst):
+                factor = min(factor, win.factor)
+        if factor >= 1.0:
+            return 0.0
+        bits = (size + 4) * 8  # payload + length prefix
+        return bits / (self.bandwidth_bps * factor) - bits / self.bandwidth_bps
+
+    def _active_reorder(self, src: int, now: float) -> "Optional[_Window]":
+        for win in self._reorder:
+            if win.active(now) and win.node == src:
+                return win
+        return None
+
+    # -- reorder buffering -------------------------------------------------
+    def _hold(self, src, dst, frame, send, window: int) -> None:
+        held = self._held.setdefault((src, dst), [])
+        held.append((frame, send))
+        if len(held) >= window:
+            self._flush_link((src, dst))
+
+    def _flush_link(self, key) -> None:
+        held = self._held.pop(key, [])
+        if not held:
+            return
+        if len(held) > 1:
+            self.rng.shuffle(held)
+            self._count(key[0], "chaos_frames_reordered", len(held))
+        for frame, send in held:
+            send(frame)
+
+    def _flush_node(self, node_id: int) -> None:
+        for key in [k for k in self._held if k[0] == node_id]:
+            self._flush_link(key)
+
+    def _count(self, node_id: int, name: str, amount: int = 1) -> None:
+        stats = self._stats.get(node_id)
+        if stats is not None:
+            stats.add(name, amount)

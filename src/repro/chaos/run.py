@@ -1,0 +1,304 @@
+"""One-call chaos runs: plan → substrate → invariant verdict.
+
+``run_chaos_sim`` and ``run_chaos_live`` execute the same contract on
+their substrate: bootstrap a population, arm the fault plan, pump a
+steady round-robin of anonymous traffic (the liveness probe — a silent
+system can neither prove nor violate "delivery resumes"), run to the
+horizon, then feed everything observed into an
+:class:`repro.chaos.invariants.InvariantChecker` and report.
+
+Default configurations stretch the misbehaviour timers well past the
+fault windows: the point of a chaos run is to prove that *failure
+heals faster than accountability convicts*. Shrinking the timers below
+the windows is how you make the checker demonstrate a violation — the
+tests do exactly that on purpose.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.config import RacConfig
+from ..core.system import RacSystem
+from ..live.cluster import LiveCluster, live_config
+from .invariants import InvariantChecker, InvariantReport
+from .plan import FaultPlan
+from .supervisor import ChaosSupervisor
+
+__all__ = [
+    "ChaosOutcome",
+    "chaos_sim_config",
+    "chaos_live_config",
+    "run_chaos_sim",
+    "run_chaos_live",
+    "run_chaos_live_blocking",
+]
+
+
+def chaos_sim_config(**overrides) -> RacConfig:
+    """Simulator defaults for chaos runs.
+
+    The timers embody the chaos layer's contract: *failure must heal
+    faster than accountability convicts*. Misbehaviour timers sit well
+    above any canned plan's fault window, and the ARQ retry budget is
+    deep enough (64 × 0.25 s rto_max ≈ 16 s) to keep retransmitting
+    straight through a multi-second outage instead of declaring the
+    peer dead — an abandoned message can never be re-proven and reads
+    as freeriding forever. Tests that *want* a violation shrink the
+    timers below the windows."""
+    base = dict(
+        relay_timeout=15.0,
+        predecessor_timeout=15.0,
+        rate_window=15.0,
+        blacklist_period=2.0,
+        join_settle_time=0.2,
+        transport_rto_max=0.25,
+        transport_max_retries=64,
+    )
+    base.update(overrides)
+    return RacConfig.small(**base)
+
+
+def chaos_live_config(**overrides) -> RacConfig:
+    """Live defaults for chaos runs: ``live_config`` with misbehaviour
+    timers far beyond any plan window, so wall-clock jitter plus
+    injected faults can never fake freeriding (the same reasoning as
+    the live fault tests — see tests/integration/test_live_parity.py)."""
+    base = dict(
+        relay_timeout=60.0,
+        predecessor_timeout=60.0,
+        rate_window=60.0,
+        transport_max_retries=64,
+    )
+    base.update(overrides)
+    return live_config(**base)
+
+
+@dataclass
+class ChaosOutcome:
+    """Everything one chaos run produced, substrate-neutral."""
+
+    substrate: str
+    nodes: int
+    duration: float
+    seed: int
+    plan_fingerprint: str
+    deliveries: int
+    evictions: int
+    accusations: int
+    report: InvariantReport
+    counters: "Dict[str, int]" = field(default_factory=dict)
+    notes: "List[str]" = field(default_factory=list)
+    log: "List[str]" = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    def render(self) -> str:
+        lines = [
+            f"chaos run [{self.substrate}]: {self.nodes} nodes, "
+            f"{self.duration:g}s, seed {self.seed}, plan {self.plan_fingerprint[:16]}",
+            f"  deliveries  : {self.deliveries}",
+            f"  accusations : {self.accusations}",
+            f"  evictions   : {self.evictions}",
+        ]
+        for name in (
+            "chaos_frames_dropped",
+            "chaos_frames_blackholed",
+            "chaos_frames_delayed",
+            "chaos_frames_reordered",
+            "net_packets_dropped",
+        ):
+            if self.counters.get(name):
+                lines.append(f"  {name:<27}: {self.counters[name]}")
+        if self.log:
+            lines.append("  supervisor:")
+            lines.extend(f"    {entry}" for entry in self.log)
+        if self.notes:
+            lines.append("  compile notes:")
+            lines.extend(f"    {note}" for note in self.notes)
+        lines.append("  " + self.report.render().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+
+def _note_planned_crashes(checker: InvariantChecker, plan: FaultPlan, node_ids) -> None:
+    """Pre-register the plan's crash intervals so eviction verdicts that
+    land while a victim is down are excused on both substrates."""
+    for event in plan.schedule():
+        if event.kind != "crash":
+            continue
+        victim = node_ids[event.node]
+        checker.note_crash(victim, event.at)
+        if event.restart_after is not None:
+            checker.note_restart(victim, event.at + event.restart_after)
+
+
+def _final_blacklists(rac_nodes) -> "Dict[int, set]":
+    """Each surviving node's union of relay + predecessor blacklists."""
+    blacklists: "Dict[int, set]" = {}
+    for node in rac_nodes:
+        members = set(node.relays_blacklist.members())
+        for blacklist in node.pred_blacklists.values():
+            members.update(blacklist.members())
+        blacklists[node.node_id] = members
+    return blacklists
+
+
+# ---------------------------------------------------------------------------
+# sim backend
+# ---------------------------------------------------------------------------
+
+
+def _sim_send(system: RacSystem, src: int, dst: int, payload: bytes) -> None:
+    src_node = system.nodes.get(src)
+    dst_node = system.nodes.get(dst)
+    if src_node is None or not src_node.active:
+        return
+    if dst_node is None or not dst_node.active:
+        return
+    system.send(src, dst, payload)
+
+
+def run_chaos_sim(
+    plan: FaultPlan,
+    *,
+    nodes: int = 8,
+    duration: "Optional[float]" = None,
+    seed: int = 0,
+    config: "Optional[RacConfig]" = None,
+    heal_bound: float = 4.0,
+    traffic_interval: float = 0.25,
+) -> ChaosOutcome:
+    """The plan on the deterministic simulator (via FaultInjector)."""
+    plan.validate(nodes)
+    duration = plan.horizon if duration is None else duration
+    config = config if config is not None else chaos_sim_config()
+    system = RacSystem(config, seed=seed)
+    node_ids = system.bootstrap(nodes)
+    checker = InvariantChecker(node_ids, heal_bound=heal_bound)
+    checker.note_plan(plan, node_ids)
+    _note_planned_crashes(checker, plan, node_ids)
+    notes = plan.compile_sim(system, node_ids)
+
+    # The liveness probe: a steady round-robin of anonymous sends.
+    t, k = 0.2, 0
+    while t < duration:
+        src = node_ids[k % nodes]
+        dst = node_ids[(k + 1) % nodes]
+        system.sim.schedule_at(t, _sim_send, system, src, dst, f"chaos/{seed}/{k}".encode())
+        t += traffic_interval
+        k += 1
+
+    system.run(duration)
+    checker.finish(system.now)
+    for nid in node_ids:
+        node = system.nodes[nid]
+        for at, payload in zip(node.delivered_at, node.delivered):
+            checker.record_delivery(at, nid, payload)
+    for accused, info in system.evicted.items():
+        checker.record_eviction(info["at"], info["by"], accused, info["kind"])
+    survivors = [n for n in system.nodes.values() if n.active]
+    report = checker.check(_final_blacklists(survivors))
+    counters = system.stats_report()
+    return ChaosOutcome(
+        substrate="sim",
+        nodes=nodes,
+        duration=duration,
+        seed=seed,
+        plan_fingerprint=plan.fingerprint(),
+        deliveries=sum(len(n.delivered) for n in system.nodes.values()),
+        evictions=len(system.evicted),
+        accusations=sum(v for key, v in counters.items() if key.startswith("accusation_")),
+        report=report,
+        counters=counters,
+        notes=notes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# live backend
+# ---------------------------------------------------------------------------
+
+
+async def run_chaos_live(
+    plan: FaultPlan,
+    *,
+    nodes: int = 6,
+    duration: "Optional[float]" = None,
+    seed: int = 0,
+    config: "Optional[RacConfig]" = None,
+    heal_bound: float = 4.0,
+    traffic_interval: float = 0.25,
+    port_base: "Optional[int]" = None,
+) -> ChaosOutcome:
+    """The plan over real TCP: proxy shaping + crash-restart supervision."""
+    plan.validate(nodes)
+    duration = plan.horizon if duration is None else duration
+    config = config if config is not None else chaos_live_config()
+    clock = {"now": lambda: 0.0}
+
+    cluster = LiveCluster(
+        nodes,
+        config=config,
+        seed=seed,
+        port_base=port_base,
+        on_delivered=lambda nid, payload: checker.record_delivery(
+            clock["now"](), nid, payload
+        ),
+        eviction_observer=lambda reporter, accused, domain, kind: checker.record_eviction(
+            clock["now"](), reporter, accused, kind
+        ),
+    )
+    node_ids = [m.node_id for m in cluster.materials]
+    checker = InvariantChecker(node_ids, heal_bound=heal_bound)
+    checker.note_plan(plan, node_ids)
+    _note_planned_crashes(checker, plan, node_ids)
+
+    await cluster.start()
+    supervisor = ChaosSupervisor(cluster, plan, checker=checker)
+    supervisor.start()
+    clock["now"] = lambda: supervisor.proxy.now
+
+    async def pump() -> None:
+        k = 0
+        while True:
+            await asyncio.sleep(traffic_interval)
+            src = k % nodes
+            if not cluster.nodes[src].killed:
+                cluster.queue_message(src, (k + 1) % nodes, f"chaos/{seed}/{k}".encode())
+            k += 1
+
+    pump_task = asyncio.get_running_loop().create_task(pump())
+    try:
+        await cluster.run_for(duration)
+    finally:
+        pump_task.cancel()
+        await asyncio.gather(pump_task, return_exceptions=True)
+        await supervisor.stop()
+    checker.finish(supervisor.proxy.now)
+    survivors = [
+        node.rac for node in cluster.nodes if node.rac is not None and not node.killed
+    ]
+    live_report = await cluster.shutdown(duration)
+    report = checker.check(_final_blacklists(survivors))
+    return ChaosOutcome(
+        substrate="live",
+        nodes=nodes,
+        duration=duration,
+        seed=seed,
+        plan_fingerprint=plan.fingerprint(),
+        deliveries=live_report.deliveries,
+        evictions=len(live_report.evicted),
+        accusations=live_report.accusations,
+        report=report,
+        counters=live_report.counters(),
+        log=list(supervisor.log),
+    )
+
+
+def run_chaos_live_blocking(plan: FaultPlan, **kwargs) -> ChaosOutcome:
+    """Synchronous wrapper around :func:`run_chaos_live`."""
+    return asyncio.run(run_chaos_live(plan, **kwargs))

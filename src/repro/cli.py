@@ -11,6 +11,7 @@
     python -m repro trace             # Figure 2 walkthrough
     python -m repro measure --nodes 10  # packet-level throughput point
     python -m repro live demo --nodes 8 --duration 10  # real-TCP cluster
+    python -m repro chaos run --substrate both  # fault plan + invariant check
 
 Every command prints the same tables the benches write to
 ``results/``.
@@ -150,6 +151,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit nonzero unless >=1 delivery and 0 evictions (CI smoke contract)",
     )
 
+    chaos = sub.add_parser(
+        "chaos", help="scripted fault plans with invariant-checked runs on sim or live"
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+
+    chaos_run = chaos_sub.add_parser(
+        "run", help="play one fault plan on a substrate and judge the invariants"
+    )
+    chaos_run.add_argument(
+        "--substrate",
+        choices=("sim", "live", "both"),
+        default="sim",
+        help="where the plan runs (default sim; 'both' runs the same plan twice)",
+    )
+    chaos_run.add_argument(
+        "--plan",
+        choices=("smoke", "storm"),
+        default="smoke",
+        help="canned timeline: smoke = 1 crash-restart + 1 partition; "
+        "storm = seeded random fault mix (default smoke)",
+    )
+    chaos_run.add_argument("--nodes", type=int, default=6, help="population size (default 6)")
+    chaos_run.add_argument(
+        "--horizon", type=float, default=18.0, help="plan horizon / run seconds (default 18)"
+    )
+    chaos_run.add_argument("--seed", type=int, default=0, help="plan + population seed")
+    chaos_run.add_argument(
+        "--heal-bound",
+        type=float,
+        default=4.0,
+        help="seconds after each fault heals within which delivery must resume",
+    )
+    chaos_run.add_argument(
+        "--port-base",
+        type=int,
+        default=None,
+        metavar="P",
+        help="live substrate: bind node i to port P+i (default: ephemeral)",
+    )
+    chaos_run.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero on any invariant violation (CI smoke contract)",
+    )
+
+    chaos_plan = chaos_sub.add_parser("plan", help="print a plan's timeline and fingerprint")
+    chaos_plan.add_argument("--plan", choices=("smoke", "storm"), default="smoke")
+    chaos_plan.add_argument("--nodes", type=int, default=6)
+    chaos_plan.add_argument("--horizon", type=float, default=18.0)
+    chaos_plan.add_argument("--seed", type=int, default=0)
+
     return parser
 
 
@@ -240,6 +292,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _dispatch_sweep(args)
     elif args.command == "live":
         return _dispatch_live(args)
+    elif args.command == "chaos":
+        return _dispatch_chaos(args)
     elif args.command == "measure":
         from .experiments.empirical import measure_rac_throughput
 
@@ -278,6 +332,39 @@ def _dispatch_live(args: argparse.Namespace) -> int:
         if args.check and (report.deliveries < 1 or report.evicted or report.errors):
             print("live smoke FAILED: expected >=1 delivery, 0 evictions, 0 errors")
             return 1
+    return 0
+
+
+def _dispatch_chaos(args: argparse.Namespace) -> int:
+    from .chaos import run_chaos_live_blocking, run_chaos_sim, smoke_plan, storm_plan
+
+    builder = smoke_plan if args.plan == "smoke" else storm_plan
+    plan = builder(args.nodes, args.horizon, seed=args.seed)
+
+    if args.chaos_command == "plan":
+        print(plan.render())
+        return 0
+
+    substrates = ("sim", "live") if args.substrate == "both" else (args.substrate,)
+    failed = False
+    for substrate in substrates:
+        if substrate == "sim":
+            outcome = run_chaos_sim(
+                plan, nodes=args.nodes, seed=args.seed, heal_bound=args.heal_bound
+            )
+        else:
+            outcome = run_chaos_live_blocking(
+                plan,
+                nodes=args.nodes,
+                seed=args.seed,
+                heal_bound=args.heal_bound,
+                port_base=args.port_base,
+            )
+        print(outcome.render())
+        failed = failed or not outcome.ok
+    if args.check and failed:
+        print("chaos run FAILED: invariant violation(s) above")
+        return 1
     return 0
 
 

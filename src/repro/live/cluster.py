@@ -85,6 +85,20 @@ class LiveReport:
         """All delivered payloads, sorted — the parity comparand."""
         return sorted(payload for payloads in self.delivered.values() for payload in payloads)
 
+    def robustness(self) -> "Dict[int, Dict[str, int]]":
+        """Per-node fault-facing counters: reconnect failures (connects
+        that never completed a hello round-trip), frames dropped off a
+        full send backlog, and inbound frames discarded as malformed."""
+        picked = (
+            "live_reconnect_failures",
+            "live_frames_dropped_backlog",
+            "live_frames_rejected",
+        )
+        return {
+            node_id: {name: counters.get(name, 0) for name in picked}
+            for node_id, counters in self.per_node.items()
+        }
+
     def render(self) -> str:
         totals = self.counters()
         lines = [
@@ -97,6 +111,8 @@ class LiveReport:
             f"  frames rejected      : {totals.get('live_frames_rejected', 0)}",
             f"  link resets          : {totals.get('live_link_resets', 0)}",
             f"  connect retries      : {totals.get('live_connect_retries', 0)}",
+            f"  reconnect failures   : {totals.get('live_reconnect_failures', 0)}",
+            f"  backlog drops        : {totals.get('live_frames_dropped_backlog', 0)}",
         ]
         if self.errors:
             lines.append(f"  callback errors      : {len(self.errors)}")
@@ -115,6 +131,8 @@ class LiveCluster:
         *,
         host: str = "127.0.0.1",
         port_base: "Optional[int]" = None,
+        on_delivered=None,
+        eviction_observer=None,
     ) -> None:
         if count < 2:
             raise ValueError("a live cluster needs at least two nodes")
@@ -126,26 +144,43 @@ class LiveCluster:
         self.materials: "List[NodeMaterial]" = build_population(self.config, count, seed)
         self.directory = BootstrapDirectory(host=host)
         self.nodes: "List[LiveNode]" = []
+        #: Dead incarnations of restarted nodes; their deliveries and
+        #: counters are merged into the report alongside the survivors.
+        self._retired: "List[LiveNode]" = []
+        self._incarnations: "Dict[int, int]" = {}
         self.evicted: "List[int]" = []
+        self._on_delivered = on_delivered
+        self._eviction_observer = eviction_observer
         self._started = False
 
     # -- lifecycle -------------------------------------------------------------
+    def build_node(self, index: int, *, port: "Optional[int]" = None) -> LiveNode:
+        """Construct (not start) the node for slot ``index``.
+
+        Used by ``start()`` and by the chaos supervisor when restarting
+        a crashed node with the same identity; ``port`` pins the listen
+        port so peers' existing reconnect loops find the replacement."""
+        if port is None:
+            port = 0 if self.port_base is None else self.port_base + index
+        incarnation = self._incarnations.get(index, 0)
+        self._incarnations[index] = incarnation + 1
+        return LiveNode(
+            self.materials[index],
+            self.config,
+            self.directory.host,
+            self.directory.port,
+            host=self.host,
+            port=port,
+            incarnation=incarnation,
+            on_delivered=self._on_delivered,
+            on_eviction=self._on_eviction,
+        )
+
     async def start(self) -> None:
         """Start the directory and every node; activate when all joined."""
         await self.directory.start()
-        for index, material in enumerate(self.materials):
-            port = 0 if self.port_base is None else self.port_base + index
-            self.nodes.append(
-                LiveNode(
-                    material,
-                    self.config,
-                    self.directory.host,
-                    self.directory.port,
-                    host=self.host,
-                    port=port,
-                    on_eviction=self._on_eviction,
-                )
-            )
+        for index in range(len(self.materials)):
+            self.nodes.append(self.build_node(index))
         await asyncio.gather(*(node.start() for node in self.nodes))
         roster = self.directory.roster()
         for node in self.nodes:
@@ -184,20 +219,33 @@ class LiveCluster:
         node.kill()
         return node.node_id
 
+    def adopt_replacement(self, index: int, node: LiveNode) -> None:
+        """Swap a restarted node into slot ``index``. The dead
+        incarnation is retired, not discarded — what it delivered and
+        counted before the crash still belongs in the report."""
+        self._retired.append(self.nodes[index])
+        self.nodes[index] = node
+
     async def shutdown(self, duration: float = 0.0) -> LiveReport:
         for node in self.nodes:
             if not node.killed:
                 await node.shutdown()
         await self.directory.close()
         errors: "List[str]" = []
-        for node in self.nodes:
+        delivered: "Dict[int, List[bytes]]" = {}
+        per_node: "Dict[int, Dict[str, int]]" = {}
+        for node in self._retired + self.nodes:
             if node.env is not None:
                 errors.extend(f"node {node.node_id:#x}: {e!r}" for e in node.env.errors)
+            delivered.setdefault(node.node_id, []).extend(node.delivered())
+            merged = per_node.setdefault(node.node_id, {})
+            for name, value in node.counters().items():
+                merged[name] = merged.get(name, 0) + value
         return LiveReport(
             nodes=len(self.nodes),
             duration=duration,
-            delivered={node.node_id: node.delivered() for node in self.nodes},
-            per_node={node.node_id: node.counters() for node in self.nodes},
+            delivered=delivered,
+            per_node=per_node,
             evicted=list(self.evicted),
             errors=errors,
         )
@@ -206,6 +254,8 @@ class LiveCluster:
     def _on_eviction(self, reporter: int, accused: int, domain: DomainId, kind: str) -> None:
         if accused in self.evicted:
             return
+        if self._eviction_observer is not None:
+            self._eviction_observer(reporter, accused, domain, kind)
         self.evicted.append(accused)
         for node in self.nodes:
             if node.env is not None:

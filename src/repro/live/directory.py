@@ -27,9 +27,28 @@ from typing import Dict, List, Optional, Tuple
 from ..core.wire import WireError, decode_public_key, encode_public_key
 from ..crypto.keys import PublicKey
 
-__all__ = ["RosterEntry", "BootstrapDirectory", "DirectoryClient"]
+__all__ = [
+    "RosterEntry",
+    "BootstrapDirectory",
+    "DirectoryClient",
+    "DirectoryError",
+    "DirectoryUnavailable",
+]
 
 _MAX_LINE = 1 << 20
+
+
+class DirectoryError(RuntimeError):
+    """The directory answered but refused the request."""
+
+
+class DirectoryUnavailable(DirectoryError):
+    """The directory could not be reached within the retry budget.
+
+    Raised instead of hanging (or leaking raw ``OSError``/timeouts)
+    when the rendezvous process is down — the chaos supervisor catches
+    exactly this while restarting nodes through a directory outage.
+    """
 
 
 @dataclass(frozen=True)
@@ -81,9 +100,11 @@ class BootstrapDirectory:
         return (self.host, self.port)
 
     async def start(self) -> "Tuple[str, int]":
-        self._server = await asyncio.start_server(
-            self._handle_client, self.host, self._requested_port
-        )
+        # After a close()/start() bounce (chaos directory outage) the
+        # directory re-binds its previous port so clients' stored
+        # addresses stay valid; registrations survive in memory.
+        port = self.port if self.port is not None else self._requested_port
+        self._server = await asyncio.start_server(self._handle_client, self.host, port)
         self.port = self._server.sockets[0].getsockname()[1]
         return self.address
 
@@ -148,18 +169,58 @@ class BootstrapDirectory:
 
 
 class DirectoryClient:
-    """Client side of the rendezvous protocol (one connection per call)."""
+    """Client side of the rendezvous protocol (one connection per call).
 
-    def __init__(self, host: str, port: int) -> None:
+    Every operation is bounded: connects time out after
+    ``connect_timeout`` seconds and are retried ``retries`` times with a
+    short pause, reads time out per call. A directory that stays down
+    surfaces as :class:`DirectoryUnavailable` instead of a hang — the
+    caller (node startup, the chaos supervisor) decides whether to wait
+    it out.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        connect_timeout: float = 2.0,
+        retries: int = 3,
+        retry_delay: float = 0.2,
+    ) -> None:
         self.host = host
         self.port = port
+        self.connect_timeout = connect_timeout
+        self.retries = retries
+        self.retry_delay = retry_delay
+
+    async def _connect(self):
+        last: "Optional[BaseException]" = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                await asyncio.sleep(self.retry_delay)
+            try:
+                return await asyncio.wait_for(
+                    asyncio.open_connection(self.host, self.port),
+                    timeout=self.connect_timeout,
+                )
+            except (OSError, asyncio.TimeoutError) as exc:
+                last = exc
+        raise DirectoryUnavailable(
+            f"directory {self.host}:{self.port} unreachable after "
+            f"{self.retries + 1} attempts: {last!r}"
+        )
 
     async def _call(self, request: dict, timeout: float = 30.0) -> dict:
-        reader, writer = await asyncio.open_connection(self.host, self.port)
+        reader, writer = await self._connect()
         try:
             writer.write(json.dumps(request).encode() + b"\n")
             await writer.drain()
             line = await asyncio.wait_for(reader.readline(), timeout=timeout)
+        except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+            raise DirectoryUnavailable(
+                f"directory {self.host}:{self.port} dropped mid-request: {exc!r}"
+            ) from exc
         finally:
             writer.close()
             try:
@@ -167,10 +228,10 @@ class DirectoryClient:
             except (ConnectionError, OSError):
                 pass
         if not line:
-            raise ConnectionError("directory closed the connection")
+            raise DirectoryUnavailable("directory closed the connection mid-request")
         response = json.loads(line)
         if not response.get("ok"):
-            raise RuntimeError(f"directory refused: {response.get('error')}")
+            raise DirectoryError(f"directory refused: {response.get('error')}")
         return response
 
     async def register(self, entry: RosterEntry) -> int:

@@ -25,26 +25,34 @@ without a hook the environment applies them locally only.
 from __future__ import annotations
 
 import asyncio
+import random
 from typing import Callable, Dict, List, Optional, Set
 
 from ..core.config import RacConfig
 from ..core.messages import DomainId
-from ..core.wire import encode_message
+from ..core.wire import WireError, encode_message
 from ..groups.channels import ChannelDirectory
 from ..groups.manager import GroupDirectory
 from ..overlay.membership import MembershipView
 from ..simnet.stats import StatsRegistry, ThroughputMeter
 from ..simnet.trace import Tracer
 from .directory import RosterEntry
-from .framing import encode_hello, write_frame
+from .framing import encode_hello, read_hello, write_frame
 
 __all__ = ["LiveEnvironment", "PeerLink"]
 
 #: Reconnect backoff bounds (seconds). localhost connections normally
 #: succeed first try; the backoff matters when a peer crashes or has
-#: not opened its server socket yet.
+#: not opened its server socket yet. Each sleep is jittered to
+#: uniform(0.5, 1.0)·backoff: when a restarted node orphans every
+#: inbound link at once, lockstep retries would hammer its fresh server
+#: socket in synchronized waves.
 _BACKOFF_INITIAL = 0.05
 _BACKOFF_MAX = 2.0
+#: How long to wait for the peer's hello-ack before treating the
+#: connection as dead. The backoff resets only after this round-trip —
+#: a server that accepts but never answers must not look healthy.
+_HELLO_ACK_TIMEOUT = 5.0
 #: Per-link bound on queued frames; beyond it the oldest are dropped
 #: (counted, never silent). A dead peer must not buffer unbounded RAM.
 _MAX_QUEUED_FRAMES = 4096
@@ -65,6 +73,7 @@ class PeerLink:
         self._wakeup = asyncio.Event()
         self._task: "Optional[asyncio.Task]" = None
         self._writer: "Optional[asyncio.StreamWriter]" = None
+        self._rng = random.Random((env.node_id << 20) ^ peer.node_id)
         self.closed = False
         self.queued_bytes = 0
         self.connects = 0
@@ -86,24 +95,43 @@ class PeerLink:
                 self._run(), name=f"link-{self.env.node_id:x}-{self.peer.node_id:x}"
             )
 
+    def _record_failure(self) -> None:
+        self.reconnect_failures += 1
+        self.env.stats.add("live_connect_retries")
+        self.env.stats.add("live_reconnect_failures")
+
+    async def _backoff_sleep(self, backoff: float) -> None:
+        await asyncio.sleep(backoff * self._rng.uniform(0.5, 1.0))
+
     async def _run(self) -> None:
         backoff = _BACKOFF_INITIAL
         while not self.closed:
             try:
                 reader, writer = await asyncio.open_connection(self.peer.host, self.peer.port)
             except OSError:
-                self.reconnect_failures += 1
-                self.env.stats.add("live_connect_retries")
-                await asyncio.sleep(backoff)
+                self._record_failure()
+                await self._backoff_sleep(backoff)
                 backoff = min(backoff * 2, _BACKOFF_MAX)
                 continue
             self._writer = writer
             self.connects += 1
             self.env.stats.add("live_connects")
-            backoff = _BACKOFF_INITIAL
+            acked = False
             try:
                 write_frame(writer, encode_hello(self.env.node_id))
                 await writer.drain()
+                # The backoff resets only once the peer proves it is
+                # really serving by echoing a hello-ack. An accepting
+                # socket whose process is wedged (or a listener backlog
+                # surviving a crash) must not look healthy.
+                peer_id = await asyncio.wait_for(read_hello(reader), _HELLO_ACK_TIMEOUT)
+                if peer_id != self.peer.node_id:
+                    raise WireError(
+                        f"hello-ack from {peer_id:#x}, expected {self.peer.node_id:#x}"
+                    )
+                acked = True
+                backoff = _BACKOFF_INITIAL
+                self.env.stats.add("live_hello_acks")
                 while not self.closed:
                     if not self._queue:
                         self._wakeup.clear()
@@ -116,7 +144,7 @@ class PeerLink:
                     self.queued_bytes -= len(frame)
                     self.env.stats.add("live_frames_sent")
                     self.env.stats.add("live_bytes_sent", len(frame) + 4)
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError, asyncio.TimeoutError, WireError):
                 self.env.stats.add("live_link_resets")
             finally:
                 self._writer = None
@@ -125,6 +153,10 @@ class PeerLink:
                     await writer.wait_closed()
                 except (ConnectionError, OSError):
                     pass
+            if not self.closed and not acked:
+                self._record_failure()
+                await self._backoff_sleep(backoff)
+                backoff = min(backoff * 2, _BACKOFF_MAX)
 
     def close(self) -> None:
         """Stop the link; queued frames are abandoned."""
@@ -177,6 +209,11 @@ class LiveEnvironment:
         self.errors: "List[BaseException]" = []
         #: Set by LiveNode so evictions can purge the node's monitors.
         self.node = None
+        #: Optional chaos shim (repro.chaos.proxy.ChaosProxy): when set,
+        #: every outbound frame passes through its ``filter`` before
+        #: reaching the link. Sender-side shaping covers both directions
+        #: of a pair, because every sender holds the shim.
+        self.fault_shim = None
 
     # -- clock ----------------------------------------------------------------
     def start_clock(self) -> None:
@@ -217,7 +254,11 @@ class LiveEnvironment:
         link = self._links.get(dst)
         if link is None:
             link = self._links[dst] = PeerLink(self, peer)
-        link.send(encode_message(payload))
+        frame = encode_message(payload)
+        if self.fault_shim is not None:
+            self.fault_shim.filter(self.node_id, dst, frame, link.send)
+        else:
+            link.send(frame)
 
     def uplink_backlog_seconds(self, node_id: int) -> float:
         queued = sum(link.queued_bytes for link in self._links.values())

@@ -28,7 +28,7 @@ from ..core.node import RacNode
 from ..core.wire import WireError, decode_message
 from .directory import DirectoryClient, RosterEntry
 from .environment import LiveEnvironment
-from .framing import read_frame, read_hello
+from .framing import encode_hello, read_frame, read_hello, write_frame
 
 __all__ = ["LiveNode"]
 
@@ -45,6 +45,7 @@ class LiveNode:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        incarnation: int = 0,
         on_delivered: "Optional[Callable[[int, bytes], None]]" = None,
         on_eviction: "Optional[Callable[[int, int, DomainId, str], None]]" = None,
     ) -> None:
@@ -53,6 +54,11 @@ class LiveNode:
         self.host = host
         self._requested_port = port
         self.port: "Optional[int]" = None
+        #: Restart generation. The node RNG is salted with it so a
+        #: restarted incarnation never replays its predecessor's message
+        #: ids — peers holding pre-crash broadcast state would read the
+        #: repeats as "replay" misbehaviour and evict an honest node.
+        self.incarnation = incarnation
         self._client = DirectoryClient(directory_host, directory_port)
         self._on_delivered = on_delivered
         self._on_eviction = on_eviction
@@ -109,7 +115,9 @@ class LiveNode:
             self.env,
             self.material.id_keypair,
             self.material.pseudonym_keypair,
-            rng=random.Random(self.material.node_seed),
+            rng=random.Random(
+                self.material.node_seed ^ (self.incarnation * 0x9E3779B97F4A7C15)
+            ),
         )
         self.env.node = self.rac
         self.env.start_clock()
@@ -164,6 +172,11 @@ class LiveNode:
             self._inbound_tasks.add(task)
         try:
             src = await read_hello(reader)
+            # Hello-ack: complete the round-trip so the sender's link
+            # knows this node is really serving (its reconnect backoff
+            # resets only on this ack, not on a bare TCP accept).
+            write_frame(writer, encode_hello(self.node_id))
+            await writer.drain()
             while True:
                 frame = await read_frame(reader)
                 self._dispatch(src, frame)

@@ -226,6 +226,60 @@ def live_point(params: "Dict[str, Any]", seed: int, ctx: WorkerContext) -> "Dict
     }
 
 
+@workload("chaos_point")
+def chaos_point(params: "Dict[str, Any]", seed: int, ctx: WorkerContext) -> "Dict[str, float]":
+    """One invariant-checked chaos run, sweepable over seeds and shapes.
+
+    Parameters: ``substrate`` (``sim`` default, or ``live``), ``plan``
+    (``smoke`` default, or ``storm``), ``nodes``, ``horizon`` (sim- or
+    wall-seconds depending on substrate), ``heal_bound``, plus any
+    :data:`_CONFIG_KEYS` RacConfig override. The violation count is a
+    metric, not an exception: a soak campaign aggregates it to zero.
+    """
+    from ..chaos import (
+        chaos_live_config,
+        chaos_sim_config,
+        run_chaos_live_blocking,
+        run_chaos_sim,
+        smoke_plan,
+        storm_plan,
+    )
+
+    substrate = str(params.get("substrate", "sim"))
+    nodes = int(params.get("nodes", 8))
+    horizon = float(params.get("horizon", 24.0))
+    heal_bound = float(params.get("heal_bound", 4.0))
+    builder = smoke_plan if str(params.get("plan", "smoke")) == "smoke" else storm_plan
+    plan = builder(nodes, horizon, seed=seed)
+    overrides = {k: params[k] for k in _CONFIG_KEYS if k in params}
+    if substrate == "sim":
+        outcome = run_chaos_sim(
+            plan,
+            nodes=nodes,
+            seed=seed,
+            config=chaos_sim_config(**overrides),
+            heal_bound=heal_bound,
+        )
+    else:
+        outcome = run_chaos_live_blocking(
+            plan,
+            nodes=nodes,
+            seed=seed,
+            config=chaos_live_config(**overrides),
+            heal_bound=heal_bound,
+        )
+    ctx.maybe_crash()
+    return {
+        "deliveries": float(outcome.deliveries),
+        "accusations": float(outcome.accusations),
+        "evictions": float(outcome.evictions),
+        "violations": float(len(outcome.report.violations)),
+        "heal_windows_checked": float(outcome.report.checks.get("heal_windows", 0)),
+        "chaos_frames_dropped": float(outcome.counters.get("chaos_frames_dropped", 0)),
+        "chaos_frames_blackholed": float(outcome.counters.get("chaos_frames_blackholed", 0)),
+    }
+
+
 # ---------------------------------------------------------------------------
 # analytic model points (the figure sweeps)
 # ---------------------------------------------------------------------------
