@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-baseline ci-bench-smoke sweep-smoke live-smoke chaos-smoke report examples ci clean
+.PHONY: install test bench bench-baseline ci-bench-smoke sweep-smoke live-smoke chaos-smoke campaign-smoke report examples ci clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -40,6 +40,12 @@ chaos-smoke:  # seeded crash-restart + partition on a 6-node live cluster, invar
 	PYTHONPATH=src $(PYTHON) -m repro chaos run --substrate live --plan smoke \
 		--nodes 6 --horizon 15 --seed 0 --check
 
+campaign-smoke:  # 2 strategies x 2 fault plans x 1 loss point, pool + injected crash
+	rm -rf results/campaign_smoke
+	PYTHONPATH=src $(PYTHON) -m repro campaign run --run-dir results/campaign_smoke \
+		--spec smoke --workers 2 --inject-crash 1
+	PYTHONPATH=src $(PYTHON) -m repro campaign report --run-dir results/campaign_smoke --check
+
 report:
 	$(PYTHON) -m repro report --output results/full_report.txt
 
@@ -49,6 +55,7 @@ ci:  # what .github/workflows/ci.yml runs
 	$(MAKE) sweep-smoke
 	$(MAKE) live-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) campaign-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_smoke.py -q
 
 examples:

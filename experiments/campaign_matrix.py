@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Run the adversarial campaign matrix and commit its frontier.
+
+Expands the full :class:`repro.campaign.CampaignSpec` — every
+single-group-meaningful deviation in the behaviour registry × the
+``none``/``smoke`` fault plans × three link-loss intensities — through
+the orchestrator worker pool, then folds the result store into the
+accountability frontier (``results/campaign_frontier.txt``).
+
+The committed artefact is the PR's acceptance gate: at baseline
+intensity (plan ``none``, lowest loss) every strategy's cells must
+show **zero honest evictions** and **zero missed detections** — the
+two-sided soundness the paper's accountability claim needs (§IV-C:
+misbehaviour is punished; §VI: failures are not).
+
+Run ``python experiments/campaign_matrix.py`` (minutes; the flooder
+cells dominate), or ``--smoke`` for the CI mini-matrix with one
+injected worker crash to prove the runner itself is fault-tolerant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.campaign import (  # noqa: E402
+    CampaignSpec,
+    build_frontier,
+    run_campaign,
+)
+from repro.orchestrator import ResultStore  # noqa: E402
+from repro.orchestrator.pool import STORE_NAME  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=max(2, min(4, os.cpu_count() or 2)))
+    parser.add_argument("--smoke", action="store_true", help="CI mini-matrix (4 cells)")
+    parser.add_argument(
+        "--inject-crash",
+        type=int,
+        default=None,
+        metavar="K",
+        help="kill the first attempt of K cells (default: 1 in smoke mode, 0 otherwise)",
+    )
+    parser.add_argument(
+        "--run-dir",
+        default=None,
+        help="reuse/resume this campaign directory (default: a fresh temp dir)",
+    )
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "results" / "campaign_frontier.txt")
+    )
+    args = parser.parse_args()
+
+    spec = CampaignSpec.smoke() if args.smoke else CampaignSpec.full()
+    inject = args.inject_crash if args.inject_crash is not None else (1 if args.smoke else 0)
+    print(spec.describe())
+
+    def execute(run_dir: str) -> int:
+        status = run_campaign(
+            spec, run_dir, workers=args.workers, inject_crash=inject
+        )
+        print(status.render())
+        if not status.done or status.failed:
+            print("campaign did not complete cleanly", file=sys.stderr)
+            return 1
+        store = ResultStore(os.path.join(run_dir, STORE_NAME))
+        report = build_frontier(store)
+        body = spec.describe() + "\n\n" + report.render()
+        print(body)
+        Path(args.output).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.output).write_text(body + "\n")
+        print(f"\nwrote {args.output}")
+        if not report.baseline_ok:
+            print("baseline cells are not sound", file=sys.stderr)
+            return 1
+        if any(p.honest_evictions for p in report.points):
+            print("honest eviction(s) recorded somewhere in the matrix", file=sys.stderr)
+            return 1
+        if args.smoke and report.frontiers and any(
+            f.requires_detection and f.degrade_onset is not None for f in report.frontiers
+        ):
+            print("smoke matrix missed a planted misbehaver", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.run_dir:
+        return execute(args.run_dir)
+    with tempfile.TemporaryDirectory(prefix="campaign-matrix-") as run_dir:
+        return execute(run_dir)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

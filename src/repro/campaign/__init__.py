@@ -1,0 +1,45 @@
+"""The adversarial campaign matrix: strategies × faults × networks.
+
+This package turns the repo's three adversity layers — planted
+misbehaviour (:mod:`repro.freeride`), injected faults
+(:mod:`repro.chaos`) and lossy networks — into one declarative
+cross-product (:class:`CampaignSpec`), runs every cell through the
+orchestrator pool as a ``campaign_point`` workload, scores each cell
+with the fault-aware invariant checker plus the passive-opponent
+analyses, and folds the result store into an **accountability
+frontier**: per strategy, the fault intensity where detection stays
+sound, where it first degrades (missed detections), where false
+positives begin, and what the adversity costs anonymity.
+
+Entry points: ``repro campaign run|status|report`` (CLI),
+``experiments/campaign_matrix.py`` (the committed artefact), and
+``make campaign-smoke`` (CI).
+"""
+
+from .frontier import CellAggregate, FrontierReport, StrategyFrontier, build_frontier
+from .runner import campaign_report, campaign_status, load_campaign, run_campaign
+from .scoring import (
+    CampaignCellOutcome,
+    build_campaign_plan,
+    campaign_config,
+    run_campaign_cell,
+)
+from .spec import CAMPAIGN_EXPERIMENT, PLAN_NAMES, CampaignSpec
+
+__all__ = [
+    "CAMPAIGN_EXPERIMENT",
+    "PLAN_NAMES",
+    "CampaignSpec",
+    "CampaignCellOutcome",
+    "CellAggregate",
+    "FrontierReport",
+    "StrategyFrontier",
+    "build_campaign_plan",
+    "build_frontier",
+    "campaign_config",
+    "campaign_report",
+    "campaign_status",
+    "load_campaign",
+    "run_campaign",
+    "run_campaign_cell",
+]

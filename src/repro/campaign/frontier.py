@@ -1,0 +1,297 @@
+"""The accountability frontier: folding campaign cells into one verdict.
+
+A finished campaign leaves one result-store record per cell. This
+module folds them into the report the ROADMAP asks for — *where does
+accountability stay sound, where does detection degrade, and what does
+active adversity cost anonymity?* For every (strategy, fault-plan)
+pair the aggregator walks the loss-intensity axis and finds:
+
+* ``sound_up_to`` — the highest intensity at which every cell is clean
+  (guilty convicted within the bound, zero honest evictions);
+* ``degrade_onset`` — the lowest intensity with a missed detection
+  (the guilty node outlived its detection bound);
+* ``false_positive_onset`` — the lowest intensity with an honest
+  eviction (adversity misread as misbehaviour — the failure mode the
+  paper's accountability claim forbids);
+* the anonymity entropy trend from the baseline intensity to the
+  highest swept one (evictions shrink the posterior's support).
+
+Heterogeneous stores are fine: records from other experiments are
+ignored, and records missing a campaign metric are counted as skipped
+rather than crashing the fold (the same contract as
+:meth:`repro.orchestrator.store.ResultStore.aggregate`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..experiments.runner import Table
+from ..orchestrator.store import ResultRecord, ResultStore
+from .spec import CAMPAIGN_EXPERIMENT
+
+__all__ = ["CellAggregate", "StrategyFrontier", "FrontierReport", "build_frontier"]
+
+#: Metrics a record must carry to enter the fold.
+_REQUIRED_METRICS = (
+    "honest_evictions",
+    "missed_detections",
+    "detected",
+    "anonymity_entropy_bits",
+)
+
+
+@dataclass
+class CellAggregate:
+    """All seeds/sizes of one (strategy, plan, loss) point, folded."""
+
+    strategy: str
+    plan: str
+    loss: float
+    cells: int = 0
+    honest_evictions: int = 0
+    missed_detections: int = 0
+    liveness_violations: int = 0
+    detected: int = 0
+    detection_required: int = 0
+    detection_times: "List[float]" = field(default_factory=list)
+    entropy_sum: float = 0.0
+    accuracy_sum: float = 0.0
+
+    def fold(self, record: ResultRecord) -> None:
+        m = record.metrics
+        self.cells += 1
+        self.honest_evictions += int(m["honest_evictions"])
+        self.missed_detections += int(m["missed_detections"])
+        self.liveness_violations += int(m.get("liveness_violations", 0))
+        self.entropy_sum += float(m["anonymity_entropy_bits"])
+        self.accuracy_sum += float(m.get("attribution_accuracy", 0.0))
+        if m["detected"] >= 1.0:
+            self.detected += 1
+            if m.get("detection_time_s", -1.0) >= 0.0:
+                self.detection_times.append(float(m["detection_time_s"]))
+
+    @property
+    def sound(self) -> bool:
+        """Clean on both sides: nobody honest convicted, nobody guilty
+        missed."""
+        return self.honest_evictions == 0 and self.missed_detections == 0
+
+    @property
+    def mean_entropy(self) -> float:
+        return self.entropy_sum / self.cells if self.cells else 0.0
+
+    @property
+    def mean_accuracy(self) -> float:
+        return self.accuracy_sum / self.cells if self.cells else 0.0
+
+    @property
+    def mean_detection_time(self) -> "Optional[float]":
+        if not self.detection_times:
+            return None
+        return sum(self.detection_times) / len(self.detection_times)
+
+
+@dataclass
+class StrategyFrontier:
+    """One (strategy, plan) line of the accountability frontier."""
+
+    strategy: str
+    plan: str
+    losses: "List[float]"
+    sound_up_to: "Optional[float]"  # None: unsound already at the lowest point
+    degrade_onset: "Optional[float]"  # None: detection never degraded
+    false_positive_onset: "Optional[float]"  # None: never went false-positive
+    entropy_baseline: float
+    entropy_worst: float
+    requires_detection: bool
+
+    def describe(self) -> str:
+        span = f"{self.strategy} under plan {self.plan}: "
+        if self.sound_up_to is None:
+            body = f"unsound already at {min(self.losses):.0%} loss"
+        elif self.sound_up_to >= max(self.losses):
+            body = f"sound across the whole swept range (up to {self.sound_up_to:.0%} loss)"
+        else:
+            body = f"sound up to {self.sound_up_to:.0%} loss"
+        parts = [body]
+        if self.degrade_onset is not None:
+            parts.append(f"detection first degrades at {self.degrade_onset:.0%}")
+        elif self.requires_detection:
+            parts.append("detection never degrades")
+        else:
+            parts.append("no conviction required (undetectable deviation)")
+        if self.false_positive_onset is not None:
+            parts.append(f"false positives from {self.false_positive_onset:.0%}")
+        else:
+            parts.append("no false positives")
+        parts.append(
+            f"entropy {self.entropy_baseline:.2f}->{self.entropy_worst:.2f} bits"
+        )
+        return span + "; ".join(parts)
+
+
+@dataclass
+class FrontierReport:
+    """The campaign verdict: aggregates, frontiers, and the baseline."""
+
+    points: "List[CellAggregate]"
+    frontiers: "List[StrategyFrontier]"
+    skipped: int
+    failed_cells: int
+    foreign_records: int
+
+    @property
+    def baseline_points(self) -> "List[CellAggregate]":
+        """The no-fault cells: plan ``none`` at the lowest swept loss."""
+        none_points = [p for p in self.points if p.plan == "none"]
+        if not none_points:
+            return []
+        floor = min(p.loss for p in none_points)
+        return [p for p in none_points if p.loss == floor]
+
+    @property
+    def baseline_ok(self) -> bool:
+        """The acceptance gate: at baseline intensity every strategy's
+        cells show zero honest evictions and zero missed detections."""
+        baseline = self.baseline_points
+        return bool(baseline) and all(p.sound for p in baseline)
+
+    def render(self) -> str:
+        table = Table(
+            headers=[
+                "strategy",
+                "plan",
+                "loss",
+                "cells",
+                "honest evic",
+                "missed",
+                "detected",
+                "t_detect",
+                "entropy",
+                "attack acc",
+            ],
+            title="campaign matrix: strategies x fault plans x loss intensities",
+        )
+        for p in sorted(self.points, key=lambda p: (p.strategy, p.plan, p.loss)):
+            detect = (
+                f"{p.detected}/{p.detection_required}"
+                if p.detection_required
+                else f"{p.detected}/-"
+            )
+            t_detect = (
+                f"{p.mean_detection_time:.2f}s"
+                if p.mean_detection_time is not None
+                else "-"
+            )
+            table.add_row(
+                p.strategy,
+                p.plan,
+                f"{p.loss:.0%}",
+                p.cells,
+                p.honest_evictions,
+                p.missed_detections,
+                detect,
+                t_detect,
+                f"{p.mean_entropy:.2f}",
+                f"{p.mean_accuracy:.3f}",
+            )
+        lines = [table.render(), "", "accountability frontier:"]
+        lines.extend(
+            "  " + f.describe()
+            for f in sorted(self.frontiers, key=lambda f: (f.strategy, f.plan))
+        )
+        lines.append("")
+        baseline = self.baseline_points
+        if baseline:
+            he = sum(p.honest_evictions for p in baseline)
+            md = sum(p.missed_detections for p in baseline)
+            lines.append(
+                f"baseline (plan none @ {baseline[0].loss:.0%} loss): "
+                f"{sum(p.cells for p in baseline)} cells, {he} honest-eviction "
+                f"cells, {md} missed-detection cells -> "
+                + ("SOUND" if self.baseline_ok else "UNSOUND")
+            )
+        else:
+            lines.append("baseline (plan none): no cells recorded -> UNSOUND")
+        if self.failed_cells:
+            lines.append(f"failed cells (no metrics): {self.failed_cells}")
+        if self.skipped:
+            lines.append(f"records skipped (missing campaign metrics): {self.skipped}")
+        return "\n".join(lines)
+
+
+def build_frontier(store: ResultStore) -> FrontierReport:
+    """Fold a result store's campaign records into the frontier."""
+    grouped: "Dict[Tuple[str, str, float], CellAggregate]" = {}
+    skipped = failed = foreign = 0
+    for record in store.latest().values():
+        if record.experiment != CAMPAIGN_EXPERIMENT:
+            foreign += 1
+            continue
+        if record.status != "ok":
+            failed += 1
+            continue
+        if any(name not in record.metrics for name in _REQUIRED_METRICS):
+            skipped += 1
+            continue
+        key = (
+            str(record.params.get("strategy", "honest")),
+            str(record.params.get("plan", "none")),
+            float(record.params.get("loss", 0.0)),
+        )
+        point = grouped.get(key)
+        if point is None:
+            point = grouped[key] = CellAggregate(*key)
+        point.fold(record)
+        point.detection_required += (
+            1 if record.metrics.get("detection_time_s") is not None
+            and record.metrics["missed_detections"] + record.metrics["detected"] >= 1.0
+            else 0
+        )
+
+    # detection_required above is heuristic for mixed stores; recompute
+    # it exactly: a point requires detection iff any of its cells either
+    # detected the deviant or was flagged for missing it.
+    for point in grouped.values():
+        point.detection_required = point.cells if (
+            point.detected or point.missed_detections
+        ) else 0
+
+    frontiers: "List[StrategyFrontier]" = []
+    by_pair: "Dict[Tuple[str, str], List[CellAggregate]]" = {}
+    for (strategy, plan, _loss), point in grouped.items():
+        by_pair.setdefault((strategy, plan), []).append(point)
+    for (strategy, plan), points in by_pair.items():
+        points.sort(key=lambda p: p.loss)
+        losses = [p.loss for p in points]
+        sound_up_to: "Optional[float]" = None
+        for p in points:
+            if p.sound:
+                sound_up_to = p.loss
+            else:
+                break
+        degrade = next((p.loss for p in points if p.missed_detections), None)
+        false_pos = next((p.loss for p in points if p.honest_evictions), None)
+        frontiers.append(
+            StrategyFrontier(
+                strategy=strategy,
+                plan=plan,
+                losses=losses,
+                sound_up_to=sound_up_to,
+                degrade_onset=degrade,
+                false_positive_onset=false_pos,
+                entropy_baseline=points[0].mean_entropy,
+                entropy_worst=points[-1].mean_entropy,
+                requires_detection=any(p.detection_required for p in points),
+            )
+        )
+
+    return FrontierReport(
+        points=list(grouped.values()),
+        frontiers=frontiers,
+        skipped=skipped,
+        failed_cells=failed,
+        foreign_records=foreign,
+    )

@@ -1,0 +1,203 @@
+"""CampaignSpec: the declarative strategies × faults × networks matrix.
+
+A campaign is the cross-product the ROADMAP calls for — every
+misbehaviour the repo can plant (:mod:`repro.freeride.registry`) ×
+every canned fault timeline (:mod:`repro.chaos.plan`) × link-loss
+points × group sizes × seeds — expanded into the same content-addressed
+:class:`~repro.orchestrator.grid.SweepGrid` machinery the figure sweeps
+use. One campaign cell = one ``campaign_point`` workload run = one
+seeded simulation with the strategy planted via
+``RacSystem.bootstrap(behaviors=...)`` and the fault plan compiled onto
+the network, scored by :mod:`repro.campaign.scoring`.
+
+Because the expansion is an ordinary grid, everything the orchestrator
+already guarantees — exactly-once resume, crashed-worker retry, the
+durable JSONL store — applies to campaigns for free, and
+``repro sweep resume --run-dir <dir>`` continues an interrupted
+campaign just as well as ``repro campaign run`` does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from ..freeride.registry import BEHAVIORS, UnknownBehaviorError
+from ..orchestrator.grid import SweepGrid
+
+__all__ = ["CAMPAIGN_EXPERIMENT", "PLAN_NAMES", "CampaignSpec"]
+
+#: The registered workload every campaign cell runs through.
+CAMPAIGN_EXPERIMENT = "campaign_point"
+
+#: Canned fault timelines a campaign can sweep over. ``none`` is the
+#: baseline (clean network apart from the loss point); ``smoke`` and
+#: ``storm`` are the chaos layer's canned plans.
+PLAN_NAMES = ("none", "smoke", "storm")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One declarative campaign: axes plus shared per-cell knobs.
+
+    ``strategies`` are behaviour registry names; ``plans`` are canned
+    fault-plan names; ``loss_points`` are baseline link-loss rates (the
+    campaign's fault-*intensity* axis); ``group_sizes`` are population
+    sizes. ``horizon`` is the per-cell sim duration, ``detection_bound``
+    the absolute sim-time by which a detectable planted misbehaver must
+    be evicted (defaults to the horizon), ``heal_bound`` the liveness
+    bound after each fault window heals.
+    """
+
+    strategies: "Tuple[str, ...]" = ("forward-dropper", "replay-attacker")
+    plans: "Tuple[str, ...]" = ("none", "smoke")
+    loss_points: "Tuple[float, ...]" = (0.0,)
+    group_sizes: "Tuple[int, ...]" = (10,)
+    seeds: "Tuple[int, ...]" = (0,)
+    horizon: float = 12.0
+    detection_bound: "Optional[float]" = None
+    heal_bound: float = 4.0
+    #: Extra constant cell parameters (RacConfig overrides etc.).
+    base: "Dict[str, Any]" = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.strategies:
+            raise ValueError("a campaign needs at least one strategy")
+        for name in self.strategies:
+            if name not in BEHAVIORS:
+                raise UnknownBehaviorError(name)
+        for plan in self.plans:
+            if plan not in PLAN_NAMES:
+                raise ValueError(
+                    f"unknown fault plan {plan!r}; known plans: {', '.join(PLAN_NAMES)}"
+                )
+        if not self.plans:
+            raise ValueError("a campaign needs at least one fault plan")
+        for rate in self.loss_points:
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(f"loss point {rate!r} outside [0, 1)")
+        if not self.loss_points:
+            raise ValueError("a campaign needs at least one loss point")
+        for size in self.group_sizes:
+            if size < 8:
+                raise ValueError(
+                    f"campaign group size {size} too small (need >= 8 so canned "
+                    "plans and ring checks have room)"
+                )
+        if not self.group_sizes:
+            raise ValueError("a campaign needs at least one group size")
+        if not self.seeds:
+            raise ValueError("a campaign needs at least one seed")
+        if self.horizon <= 0:
+            raise ValueError("campaign horizon must be positive")
+        if self.detection_bound is not None and not 0 < self.detection_bound <= self.horizon:
+            raise ValueError("detection bound must fall inside the horizon")
+        if self.heal_bound <= 0:
+            raise ValueError("heal bound must be positive")
+
+    # -- derived ---------------------------------------------------------------
+    @property
+    def cells_per_seed(self) -> int:
+        return (
+            len(self.strategies) * len(self.plans) * len(self.loss_points)
+            * len(self.group_sizes)
+        )
+
+    def __len__(self) -> int:
+        return self.cells_per_seed * len(self.seeds)
+
+    def to_grid(self) -> SweepGrid:
+        """Expand into the content-addressed (config × seed) grid."""
+        base = dict(self.base)
+        base.update(
+            horizon=self.horizon,
+            detection_bound=(
+                self.horizon if self.detection_bound is None else self.detection_bound
+            ),
+            heal_bound=self.heal_bound,
+        )
+        return SweepGrid(
+            CAMPAIGN_EXPERIMENT,
+            axes={
+                "strategy": list(self.strategies),
+                "plan": list(self.plans),
+                "loss": list(self.loss_points),
+                "nodes": list(self.group_sizes),
+            },
+            seeds=self.seeds,
+            base_params=base,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"campaign: {len(self.strategies)} strategies x {len(self.plans)} plans "
+            f"x {len(self.loss_points)} loss points x {len(self.group_sizes)} sizes "
+            f"x {len(self.seeds)} seeds = {len(self)} cells "
+            f"(horizon {self.horizon:g}s)"
+        )
+
+    # -- manifest round-trip ---------------------------------------------------
+    def to_dict(self) -> "Dict[str, Any]":
+        return {
+            "strategies": list(self.strategies),
+            "plans": list(self.plans),
+            "loss_points": list(self.loss_points),
+            "group_sizes": list(self.group_sizes),
+            "seeds": list(self.seeds),
+            "horizon": self.horizon,
+            "detection_bound": self.detection_bound,
+            "heal_bound": self.heal_bound,
+            "base": dict(self.base),
+        }
+
+    @classmethod
+    def from_dict(cls, body: "Mapping[str, Any]") -> "CampaignSpec":
+        return cls(
+            strategies=tuple(body["strategies"]),
+            plans=tuple(body["plans"]),
+            loss_points=tuple(body["loss_points"]),
+            group_sizes=tuple(body["group_sizes"]),
+            seeds=tuple(body["seeds"]),
+            horizon=body.get("horizon", 12.0),
+            detection_bound=body.get("detection_bound"),
+            heal_bound=body.get("heal_bound", 4.0),
+            base=dict(body.get("base", {})),
+        )
+
+    # -- canned campaigns ------------------------------------------------------
+    @classmethod
+    def smoke(cls, seeds: "Sequence[int]" = (0,)) -> "CampaignSpec":
+        """The CI mini-matrix: 2 fast-detecting strategies × 2 fault
+        plans × 1 loss point. Must finish in CI time and come back with
+        zero honest evictions and every planted misbehaver evicted."""
+        return cls(
+            strategies=("forward-dropper", "replay-attacker"),
+            plans=("none", "smoke"),
+            loss_points=(0.05,),
+            group_sizes=(10,),
+            seeds=tuple(seeds),
+            horizon=12.0,
+        )
+
+    @classmethod
+    def full(cls, seeds: "Sequence[int]" = (0,)) -> "CampaignSpec":
+        """The committed-artefact matrix: every registered deviation
+        that makes sense in a single-group campaign, baseline + smoke
+        fault plans, three loss intensities."""
+        return cls(
+            strategies=(
+                "forward-dropper",
+                "silent-relay",
+                "full-freerider",
+                "replay-attacker",
+                "flooder",
+                "path-drop-opponent",
+                "false-accuser",
+                "no-noise",
+            ),
+            plans=("none", "smoke"),
+            loss_points=(0.0, 0.05, 0.10),
+            group_sizes=(12,),
+            seeds=tuple(seeds),
+            horizon=14.0,
+        )

@@ -17,6 +17,14 @@ observes a run — on either substrate — and asserts:
   least one anonymous delivery must land within ``heal_bound`` seconds.
   A protocol that survives a partition by never delivering again has
   not survived it.
+* **Accountability — the guilty are convicted.** When the run plants a
+  *detectable* misbehaver (``must_detect``), that node must be evicted
+  within ``detection_bound`` seconds or the run is flagged
+  ``missed-detection``. Safety without this check is vacuous: a
+  protocol that never evicts anyone trivially never evicts an honest
+  node. The campaign matrix (:mod:`repro.campaign`) sweeps exactly this
+  two-sided verdict — false positives on one axis, missed detections on
+  the other — across strategies × faults × loss points.
 
 The checker is substrate-neutral: it consumes timestamped events
 (`record_delivery`, `record_eviction`, crash/restart notes, fault
@@ -39,7 +47,7 @@ __all__ = ["Violation", "InvariantReport", "InvariantChecker"]
 class Violation:
     """One invariant breach, anchored to the offending event."""
 
-    invariant: str  # "safety-eviction" | "safety-blacklist" | "liveness"
+    invariant: str  # "safety-eviction" | "safety-blacklist" | "liveness" | "missed-detection"
     at: float
     event: str
 
@@ -83,6 +91,13 @@ class InvariantChecker:
     are planned misbehavers whose evictions are *desired*. Crash events
     come from the plan's execution (`note_crash` / `note_restart`) and
     excuse verdicts that land while the victim is down.
+
+    ``must_detect`` (a subset of ``deviants``) names the planted
+    misbehavers whose eviction is *required* — each must be evicted by
+    ``detection_bound`` (absolute run-seconds; defaults to the run end)
+    or the run earns a ``missed-detection`` violation. A bound that
+    does not fit before ``finish()``'s run end is skipped, not failed,
+    mirroring the liveness rule.
     """
 
     def __init__(
@@ -91,11 +106,22 @@ class InvariantChecker:
         *,
         deviants: "Iterable[int]" = (),
         heal_bound: float = 5.0,
+        must_detect: "Iterable[int]" = (),
+        detection_bound: "Optional[float]" = None,
     ) -> None:
         if heal_bound <= 0:
             raise ValueError("heal bound must be positive")
+        if detection_bound is not None and detection_bound <= 0:
+            raise ValueError("detection bound must be positive")
         self.honest: "Set[int]" = set(honest)
         self.deviants: "Set[int]" = set(deviants)
+        self.must_detect: "Set[int]" = set(must_detect)
+        undeclared = self.must_detect - self.deviants
+        if undeclared:
+            raise ValueError(
+                f"must_detect nodes are not declared deviants: {sorted(undeclared)}"
+            )
+        self.detection_bound = detection_bound
         self.heal_bound = heal_bound
         self.deliveries: "List[Tuple[float, int, bytes]]" = []
         self.evictions: "List[Tuple[float, int, int, str]]" = []
@@ -158,7 +184,7 @@ class InvariantChecker:
         """Judge everything recorded so far. ``blacklists`` maps each
         surviving node to its final local blacklist members."""
         violations: "List[Violation]" = []
-        checks = {"evictions": 0, "blacklist_entries": 0, "heal_windows": 0}
+        checks = {"evictions": 0, "blacklist_entries": 0, "heal_windows": 0, "detections": 0}
 
         for at, reporter, accused, kind in sorted(self.evictions):
             checks["evictions"] += 1
@@ -188,6 +214,26 @@ class InvariantChecker:
                                 f"{holder:#x}'s final blacklist",
                             )
                         )
+
+        evicted_at = {}
+        for at, _reporter, accused, _kind in sorted(self.evictions):
+            evicted_at.setdefault(accused, at)
+        bound = self.detection_bound if self.detection_bound is not None else end
+        for guilty in sorted(self.must_detect):
+            if self.run_end is not None and bound > self.run_end:
+                continue  # the bound does not fit inside the run
+            checks["detections"] += 1
+            when = evicted_at.get(guilty)
+            if when is None or when > bound:
+                verdict = "never evicted" if when is None else f"evicted only at t={when:g}s"
+                violations.append(
+                    Violation(
+                        "missed-detection",
+                        bound,
+                        f"planted misbehaver {guilty:#x} {verdict} — detection "
+                        f"bound was {bound:g}s",
+                    )
+                )
 
         delivery_times = sorted(t for t, _, _ in self.deliveries)
         for kind, _start, heal in sorted(self.windows, key=lambda w: w[2]):

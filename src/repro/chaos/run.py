@@ -31,6 +31,8 @@ __all__ = [
     "ChaosOutcome",
     "chaos_sim_config",
     "chaos_live_config",
+    "final_blacklists",
+    "note_planned_crashes",
     "run_chaos_sim",
     "run_chaos_live",
     "run_chaos_live_blocking",
@@ -124,7 +126,7 @@ class ChaosOutcome:
         return "\n".join(lines)
 
 
-def _note_planned_crashes(checker: InvariantChecker, plan: FaultPlan, node_ids) -> None:
+def note_planned_crashes(checker: InvariantChecker, plan: FaultPlan, node_ids) -> None:
     """Pre-register the plan's crash intervals so eviction verdicts that
     land while a victim is down are excused on both substrates."""
     for event in plan.schedule():
@@ -136,7 +138,11 @@ def _note_planned_crashes(checker: InvariantChecker, plan: FaultPlan, node_ids) 
             checker.note_restart(victim, event.at + event.restart_after)
 
 
-def _final_blacklists(rac_nodes) -> "Dict[int, set]":
+#: Backwards-compatible alias (pre-campaign name).
+_note_planned_crashes = note_planned_crashes
+
+
+def final_blacklists(rac_nodes) -> "Dict[int, set]":
     """Each surviving node's union of relay + predecessor blacklists."""
     blacklists: "Dict[int, set]" = {}
     for node in rac_nodes:
@@ -145,6 +151,10 @@ def _final_blacklists(rac_nodes) -> "Dict[int, set]":
             members.update(blacklist.members())
         blacklists[node.node_id] = members
     return blacklists
+
+
+#: Backwards-compatible alias (pre-campaign name).
+_final_blacklists = final_blacklists
 
 
 # ---------------------------------------------------------------------------

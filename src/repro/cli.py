@@ -12,6 +12,7 @@
     python -m repro measure --nodes 10  # packet-level throughput point
     python -m repro live demo --nodes 8 --duration 10  # real-TCP cluster
     python -m repro chaos run --substrate both  # fault plan + invariant check
+    python -m repro campaign run --spec smoke --run-dir /tmp/c  # adversarial matrix
 
 Every command prints the same tables the benches write to
 ``results/``.
@@ -202,6 +203,67 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_plan.add_argument("--horizon", type=float, default=18.0)
     chaos_plan.add_argument("--seed", type=int, default=0)
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="adversarial matrix: strategies x fault plans x loss points, "
+        "scored into an accountability frontier",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    crun = campaign_sub.add_parser("run", help="expand a campaign spec and run it on the pool")
+    crun.add_argument("--run-dir", required=True, help="campaign directory (manifest, store)")
+    crun.add_argument(
+        "--spec",
+        choices=("smoke", "full"),
+        default=None,
+        help="start from a canned matrix (smoke = CI mini-matrix, full = "
+        "the committed artefact); explicit axis flags override its fields",
+    )
+    crun.add_argument(
+        "--strategies", default=None, help="comma-separated behaviour registry names"
+    )
+    crun.add_argument("--plans", default=None, help="comma-separated fault plans (none,smoke,storm)")
+    crun.add_argument("--loss", default=None, help="comma-separated link-loss intensities")
+    crun.add_argument("--nodes", default=None, help="comma-separated group sizes")
+    crun.add_argument("--seeds", default=None, help="comma-separated seed list")
+    crun.add_argument("--horizon", type=float, default=None, help="per-cell sim seconds")
+    crun.add_argument(
+        "--detection-bound",
+        type=float,
+        default=None,
+        help="sim-seconds by which a detectable misbehaver must be evicted "
+        "(default: the horizon)",
+    )
+    crun.add_argument("--heal-bound", type=float, default=None, help="liveness bound (seconds)")
+    crun.add_argument("--workers", type=int, default=2, help="worker processes (default 2)")
+    crun.add_argument("--serial", action="store_true", help="run in-process without the pool")
+    crun.add_argument(
+        "--inject-crash",
+        type=int,
+        default=0,
+        metavar="K",
+        help="chaos-test: kill the first attempt of the first K pending cells",
+    )
+    crun.add_argument("--max-retries", type=int, default=2, help="extra attempts per crashed cell")
+    crun.add_argument(
+        "--timeout", type=float, default=None, help="wall-seconds before a worker counts as hung"
+    )
+
+    cstatus = campaign_sub.add_parser("status", help="progress of a campaign directory")
+    cstatus.add_argument("--run-dir", required=True)
+
+    creport = campaign_sub.add_parser(
+        "report", help="fold the result store into the accountability frontier"
+    )
+    creport.add_argument("--run-dir", required=True)
+    creport.add_argument("--out", default=None, help="also write the frontier to this file")
+    creport.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero unless the baseline is sound and no cell anywhere "
+        "evicted an honest node (CI smoke contract)",
+    )
+
     return parser
 
 
@@ -294,6 +356,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _dispatch_live(args)
     elif args.command == "chaos":
         return _dispatch_chaos(args)
+    elif args.command == "campaign":
+        return _dispatch_campaign(args)
     elif args.command == "measure":
         from .experiments.empirical import measure_rac_throughput
 
@@ -368,6 +432,88 @@ def _dispatch_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dispatch_campaign(args: argparse.Namespace) -> int:
+    from .campaign import CampaignSpec, campaign_report, campaign_status, run_campaign
+    from .freeride.registry import UnknownBehaviorError
+
+    if args.campaign_command == "run":
+        import dataclasses
+
+        base = (
+            CampaignSpec.full()
+            if args.spec == "full"
+            else CampaignSpec.smoke()
+            if args.spec == "smoke"
+            else CampaignSpec()
+        )
+        overrides = {}
+        if args.strategies is not None:
+            overrides["strategies"] = tuple(
+                s for s in args.strategies.split(",") if s != ""
+            )
+        if args.plans is not None:
+            overrides["plans"] = tuple(p for p in args.plans.split(",") if p != "")
+        if args.loss is not None:
+            overrides["loss_points"] = tuple(
+                float(v) for v in args.loss.split(",") if v != ""
+            )
+        if args.nodes is not None:
+            overrides["group_sizes"] = tuple(
+                int(v) for v in args.nodes.split(",") if v != ""
+            )
+        if args.seeds is not None:
+            overrides["seeds"] = tuple(int(s) for s in args.seeds.split(",") if s != "")
+        if args.horizon is not None:
+            overrides["horizon"] = args.horizon
+        if args.detection_bound is not None:
+            overrides["detection_bound"] = args.detection_bound
+        if args.heal_bound is not None:
+            overrides["heal_bound"] = args.heal_bound
+        try:
+            spec = dataclasses.replace(base, **overrides)
+        except (UnknownBehaviorError, ValueError) as exc:
+            raise SystemExit(f"bad campaign spec: {exc}")
+        print(spec.describe())
+        final = run_campaign(
+            spec,
+            args.run_dir,
+            workers=args.workers,
+            serial=args.serial,
+            inject_crash=args.inject_crash,
+            max_retries=args.max_retries,
+            worker_timeout=args.timeout,
+        )
+        print(final.render())
+        return 0 if final.failed == 0 and final.pending == 0 else 1
+    elif args.campaign_command == "status":
+        spec, status = campaign_status(args.run_dir)
+        print(spec.describe())
+        print(status.render())
+        return 0
+    elif args.campaign_command == "report":
+        spec, report = campaign_report(args.run_dir)
+        text = spec.describe() + "\n\n" + report.render()
+        print(text)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            print(f"\nwrote {args.out}")
+        if args.check:
+            total_honest = sum(p.honest_evictions for p in report.points)
+            if not report.baseline_ok or total_honest:
+                print(
+                    "campaign check FAILED: "
+                    + (
+                        f"{total_honest} honest eviction(s) recorded"
+                        if total_honest
+                        else "baseline cells are not sound"
+                    )
+                )
+                return 1
+        return 0
+    return 0
+
+
 def _parse_scalar(text: str):
     """CLI value → int, then float, then bare string."""
     for cast in (int, float):
@@ -398,6 +544,12 @@ def _dispatch_sweep(args: argparse.Namespace) -> int:
     from .orchestrator.pool import STORE_NAME, load_manifest, write_manifest
 
     if args.sweep_command == "run":
+        from .orchestrator.workloads import UnknownWorkloadError, resolve_workload
+
+        try:
+            resolve_workload(args.experiment)
+        except UnknownWorkloadError as exc:
+            raise SystemExit(str(exc))
         axes = _parse_kv(args.axis, split_values=True)
         if not axes:
             raise SystemExit("sweep run needs at least one --axis NAME=V1,V2,...")
@@ -465,9 +617,11 @@ def _dispatch_sweep(args: argparse.Namespace) -> int:
         from .experiments.runner import Table
 
         store = ResultStore(os.path.join(args.run_dir, STORE_NAME))
-        rows = store.aggregate(args.metric, by=args.by)
+        rows, skipped = store.aggregate(args.metric, by=args.by, with_skipped=True)
         if not rows:
             print(f"no successful records with metric {args.metric!r}")
+            if skipped:
+                print(f"({skipped} successful record(s) lack that metric)")
             return 1
         table = Table(
             headers=[args.by, "n", "mean", "min", "max"],
@@ -482,6 +636,8 @@ def _dispatch_sweep(args: argparse.Namespace) -> int:
                 f"{row['max']:.6g}",
             )
         print(table.render())
+        if skipped:
+            print(f"skipped {skipped} successful record(s) missing metric {args.metric!r}")
         return 0
     return 0
 

@@ -3,10 +3,19 @@
 * :mod:`repro.freeride.strategies` — freeriders: resource-saving
   unilateral deviations, one per lemma of the Nash proof;
 * :mod:`repro.freeride.adversary` — opponents: anonymity-breaking and
-  eviction-forcing active attacks.
+  eviction-forcing active attacks;
+* :mod:`repro.freeride.registry` — stable behaviour names, one per
+  class, for campaign specs and CLI flags.
 """
 
 from .adversary import FalseAccuser, Flooder, PathDropOpponent, ReplayAttacker
+from .registry import (
+    BEHAVIORS,
+    BehaviorSpec,
+    UnknownBehaviorError,
+    behavior_names,
+    make_behavior,
+)
 from .selective import SelectiveDropper
 from .strategies import (
     ForwardDropper,
@@ -18,6 +27,11 @@ from .strategies import (
 )
 
 __all__ = [
+    "BEHAVIORS",
+    "BehaviorSpec",
+    "UnknownBehaviorError",
+    "behavior_names",
+    "make_behavior",
     "FalseAccuser",
     "Flooder",
     "PathDropOpponent",

@@ -1,0 +1,131 @@
+"""The behaviour registry: stable names for every deviation.
+
+Campaign specs, CLI flags and result records reference misbehaviours
+by *name*, never by class: names survive refactors, serialize into
+content-addressed sweep grids, and make a result store readable years
+later. Every entry's key equals the behaviour class's own ``name``
+attribute — pinned by ``tests/unit/test_freeride_registry.py`` — so
+the name printed in an eviction trace, the name in a campaign cell and
+the name in this registry are one identifier.
+
+Each :class:`BehaviorSpec` also records what the accountability layer
+should *expect* of the deviation:
+
+* ``kind`` — ``"honest"``, ``"freerider"`` (resource-saving, §V-B) or
+  ``"opponent"`` (anonymity-attacking, §V-A2);
+* ``detectable`` — whether the protocol's checks convict the planted
+  node. A campaign cell whose detectable deviant survives past the
+  detection bound is flagged *missed-detection*; planting an
+  undetectable deviation (``no-noise``, ``lying-shuffler``, …) instead
+  asserts the *absence* of false positives, because nothing should be
+  evicted at all;
+* ``needs_victim`` — the behaviour targets a specific honest node
+  (only :class:`~repro.freeride.adversary.FalseAccuser` today).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..core.behavior import HonestBehavior
+from .adversary import FalseAccuser, Flooder, PathDropOpponent, ReplayAttacker
+from .selective import SelectiveDropper
+from .strategies import (
+    ForwardDropper,
+    FullFreerider,
+    LyingShuffler,
+    NoChecks,
+    NoNoise,
+    SilentRelay,
+)
+
+__all__ = [
+    "BehaviorSpec",
+    "BEHAVIORS",
+    "UnknownBehaviorError",
+    "behavior_names",
+    "make_behavior",
+]
+
+
+class UnknownBehaviorError(KeyError):
+    """A behaviour name that is not in the registry, with the menu."""
+
+    def __init__(self, name: str) -> None:
+        self.behavior = name
+        super().__init__(name)
+
+    def __str__(self) -> str:
+        return (
+            f"unknown behavior {self.behavior!r}; registered behaviors: "
+            + ", ".join(behavior_names())
+        )
+
+
+@dataclass(frozen=True)
+class BehaviorSpec:
+    """One registered deviation and what accountability owes it."""
+
+    name: str
+    kind: str  # "honest" | "freerider" | "opponent"
+    detectable: bool
+    factory: "Callable[..., HonestBehavior]"
+    needs_victim: bool = False
+
+    def build(self, *, seed: int = 0, victim: "Optional[int]" = None) -> HonestBehavior:
+        if self.needs_victim:
+            if victim is None:
+                raise ValueError(f"behavior {self.name!r} needs a victim node id")
+            return self.factory(seed=seed, victim=victim)
+        return self.factory(seed=seed)
+
+
+def _spec(cls, kind: str, detectable: bool, factory, needs_victim: bool = False) -> BehaviorSpec:
+    return BehaviorSpec(
+        name=cls.name, kind=kind, detectable=detectable, factory=factory,
+        needs_victim=needs_victim,
+    )
+
+
+#: name -> spec. ``detectable`` mirrors the integration-test ground
+#: truth: forward/relay droppers, replay, flooding and the full
+#: freerider are convicted; noise-skipping, check-skipping, shuffle
+#: lies and single false accusers are not (Lemmas 3/4/6 and §V-A2
+#: case 2 — bounded, not detected). The selective dropper only deviates
+#: on channel traffic, which single-group campaigns never generate, so
+#: campaigns must not *require* its conviction.
+BEHAVIORS: "Dict[str, BehaviorSpec]" = {
+    spec.name: spec
+    for spec in (
+        _spec(HonestBehavior, "honest", False, lambda seed=0: HonestBehavior()),
+        _spec(ForwardDropper, "freerider", True,
+              lambda seed=0: ForwardDropper(1.0, seed=seed)),
+        _spec(SilentRelay, "freerider", True, lambda seed=0: SilentRelay()),
+        _spec(NoNoise, "freerider", False, lambda seed=0: NoNoise()),
+        _spec(NoChecks, "freerider", False, lambda seed=0: NoChecks()),
+        _spec(LyingShuffler, "freerider", False, lambda seed=0: LyingShuffler()),
+        _spec(FullFreerider, "freerider", True, lambda seed=0: FullFreerider(seed=seed)),
+        _spec(SelectiveDropper, "freerider", False, lambda seed=0: SelectiveDropper()),
+        _spec(PathDropOpponent, "opponent", True, lambda seed=0: PathDropOpponent()),
+        _spec(ReplayAttacker, "opponent", True, lambda seed=0: ReplayAttacker()),
+        _spec(Flooder, "opponent", True, lambda seed=0: Flooder(extra_per_tick=60)),
+        _spec(FalseAccuser, "opponent", False,
+              lambda seed=0, victim=None: FalseAccuser(victim), needs_victim=True),
+    )
+}
+
+
+def behavior_names() -> "List[str]":
+    """Every registered behaviour name, sorted."""
+    return sorted(BEHAVIORS)
+
+
+def make_behavior(
+    name: str, *, seed: int = 0, victim: "Optional[int]" = None
+) -> HonestBehavior:
+    """Instantiate a registered behaviour by its stable name."""
+    spec = BEHAVIORS.get(name)
+    if spec is None:
+        raise UnknownBehaviorError(name)
+    return spec.build(seed=seed, victim=victim)

@@ -25,7 +25,14 @@ recovery, resume and schema round-trips.
 from .grid import SweepCell, SweepGrid, config_hash
 from .store import RESULT_SCHEMA_VERSION, ResultRecord, ResultStore, StoreSchemaError
 from .pool import CRASH_EXIT_CODE, SweepOrchestrator, SweepStatus, run_cell_inline, run_grid_inline
-from .workloads import WORKLOADS, WorkerContext, reset_worker_caches, workload
+from .workloads import (
+    WORKLOADS,
+    UnknownWorkloadError,
+    WorkerContext,
+    reset_worker_caches,
+    resolve_workload,
+    workload,
+)
 
 __all__ = [
     "SweepCell",
@@ -41,7 +48,9 @@ __all__ = [
     "run_cell_inline",
     "run_grid_inline",
     "WORKLOADS",
+    "UnknownWorkloadError",
     "WorkerContext",
     "reset_worker_caches",
+    "resolve_workload",
     "workload",
 ]

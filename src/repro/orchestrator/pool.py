@@ -43,7 +43,12 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from .grid import SweepCell, SweepGrid
 from .store import ResultRecord, ResultStore
-from .workloads import CRASH_EXIT_CODE, WORKLOADS, WorkerContext, reset_worker_caches
+from .workloads import (
+    CRASH_EXIT_CODE,
+    WorkerContext,
+    reset_worker_caches,
+    resolve_workload,
+)
 
 __all__ = [
     "CRASH_EXIT_CODE",
@@ -67,11 +72,7 @@ _POLL_SECONDS = 0.02
 # ---------------------------------------------------------------------------
 def _execute_cell(cell: SweepCell, ctx: WorkerContext) -> ResultRecord:
     """Run one cell to completion in this process; returns its record."""
-    fn = WORKLOADS.get(cell.experiment)
-    if fn is None:
-        raise KeyError(
-            f"unknown workload {cell.experiment!r}; registered: {sorted(WORKLOADS)}"
-        )
+    fn = resolve_workload(cell.experiment)
     started = time.perf_counter()
     metrics = dict(fn(cell.params_dict, cell.seed, ctx))
     sim_time = float(metrics.pop("sim_time_s", 0.0))

@@ -206,34 +206,63 @@ class ResultStore:
 
     # -- aggregation (feeds the figure render paths) -------------------------
     def series(
-        self, x_param: str, metric: str, where: "Optional[Mapping[str, Any]]" = None
-    ) -> "Tuple[List[Any], List[float]]":
+        self,
+        x_param: str,
+        metric: str,
+        where: "Optional[Mapping[str, Any]]" = None,
+        *,
+        with_skipped: bool = False,
+    ):
         """(xs, ys) of ``metric`` against parameter ``x_param``.
 
         Multiple seeds per x collapse to their mean; rows are sorted by
-        x. Only successful records contribute.
+        x. Only successful records contribute. Records that match the
+        filter but do not carry ``metric`` (a heterogeneous store — e.g.
+        campaign cells mixed with protocol cells) are *skipped*, never a
+        ``KeyError``; pass ``with_skipped=True`` to also get their count
+        back as ``(xs, ys, skipped)`` so callers can surface partial
+        coverage instead of silently under-reporting.
         """
         buckets: Dict[Any, List[float]] = {}
+        skipped = 0
         for rec in self.latest().values():
-            if rec.status != "ok" or metric not in rec.metrics:
-                continue
-            if x_param not in rec.params:
+            if rec.status != "ok":
                 continue
             if where and any(rec.params.get(k) != v for k, v in where.items()):
+                continue
+            if metric not in rec.metrics or x_param not in rec.params:
+                skipped += 1
                 continue
             buckets.setdefault(rec.params[x_param], []).append(rec.metrics[metric])
         xs = sorted(buckets)
-        return xs, [sum(buckets[x]) / len(buckets[x]) for x in xs]
+        ys = [sum(buckets[x]) / len(buckets[x]) for x in xs]
+        if with_skipped:
+            return xs, ys, skipped
+        return xs, ys
 
     def aggregate(
-        self, metric: str, by: str = "seed", where: "Optional[Mapping[str, Any]]" = None
-    ) -> "List[Dict[str, Any]]":
-        """Grouped summary rows: key, n, mean, min, max of ``metric``."""
+        self,
+        metric: str,
+        by: str = "seed",
+        where: "Optional[Mapping[str, Any]]" = None,
+        *,
+        with_skipped: bool = False,
+    ):
+        """Grouped summary rows: key, n, mean, min, max of ``metric``.
+
+        Same skip contract as :meth:`series`: a matching record without
+        the metric is counted, not crashed on, and ``with_skipped=True``
+        returns ``(rows, skipped)``.
+        """
         buckets: Dict[Any, List[float]] = {}
+        skipped = 0
         for rec in self.latest().values():
-            if rec.status != "ok" or metric not in rec.metrics:
+            if rec.status != "ok":
                 continue
             if where and any(rec.params.get(k) != v for k, v in where.items()):
+                continue
+            if metric not in rec.metrics:
+                skipped += 1
                 continue
             key = rec.seed if by == "seed" else rec.params.get(by)
             buckets.setdefault(key, []).append(rec.metrics[metric])
@@ -249,4 +278,6 @@ class ResultStore:
                     "max": max(values),
                 }
             )
+        if with_skipped:
+            return rows, skipped
         return rows

@@ -30,13 +30,48 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..simnet.snapshot import load_snapshot, save_snapshot
 
-__all__ = ["WORKLOADS", "WorkerContext", "workload", "reset_worker_caches", "CRASH_EXIT_CODE"]
+__all__ = [
+    "WORKLOADS",
+    "UnknownWorkloadError",
+    "WorkerContext",
+    "resolve_workload",
+    "workload",
+    "reset_worker_caches",
+    "CRASH_EXIT_CODE",
+]
 
 #: Exit code of an *injected* worker crash (tests / `make sweep-smoke`);
 #: distinguishable from ordinary failures in pool logs.
 CRASH_EXIT_CODE = 73
 
 WORKLOADS: "Dict[str, Callable[[Dict[str, Any], int, WorkerContext], Dict[str, float]]]" = {}
+
+
+class UnknownWorkloadError(KeyError):
+    """A sweep or campaign named a workload nobody registered.
+
+    Subclasses :class:`KeyError` (the lookup that failed) but renders a
+    usable message: the bad name plus every registered one, so a typo'd
+    ``repro sweep run -e portocol`` tells you what it should have been.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.workload = name
+        super().__init__(name)
+
+    def __str__(self) -> str:
+        return (
+            f"unknown workload {self.workload!r}; registered workloads: "
+            + ", ".join(sorted(WORKLOADS))
+        )
+
+
+def resolve_workload(name: str):
+    """The registered workload function, or a typed, listing error."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise UnknownWorkloadError(name) from None
 
 
 def workload(name: str):
@@ -278,6 +313,25 @@ def chaos_point(params: "Dict[str, Any]", seed: int, ctx: WorkerContext) -> "Dic
         "chaos_frames_dropped": float(outcome.counters.get("chaos_frames_dropped", 0)),
         "chaos_frames_blackholed": float(outcome.counters.get("chaos_frames_blackholed", 0)),
     }
+
+
+@workload("campaign_point")
+def campaign_point(params: "Dict[str, Any]", seed: int, ctx: WorkerContext) -> "Dict[str, float]":
+    """One adversarial-campaign cell: strategy × fault plan × loss point.
+
+    Parameters: ``strategy`` (behaviour registry name), ``plan``
+    (``none`` | ``smoke`` | ``storm``), ``loss`` (baseline link-loss
+    rate — the fault-intensity axis), ``nodes``, ``horizon``,
+    ``detection_bound``, ``heal_bound``, plus the RacConfig overrides
+    :mod:`repro.campaign.scoring` accepts. Deterministic in
+    ``(params, seed)`` like every workload; not checkpointable (cells
+    are short), so a crashed attempt simply reruns.
+    """
+    from ..campaign.scoring import run_campaign_cell
+
+    outcome = run_campaign_cell(params, seed)
+    ctx.maybe_crash()
+    return outcome.metrics()
 
 
 # ---------------------------------------------------------------------------

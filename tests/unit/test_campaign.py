@@ -1,0 +1,197 @@
+"""Campaign spec expansion and frontier math, on synthetic records.
+
+Everything here is simulation-free: the spec's validation and grid
+round-trip, and the frontier aggregator fed hand-built result records,
+so the soundness taxonomy (missed-detection vs false-positive), the
+onset arithmetic and the skip accounting are pinned without paying for
+a single protocol run.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.campaign import (
+    CAMPAIGN_EXPERIMENT,
+    CampaignSpec,
+    build_frontier,
+)
+from repro.campaign.scoring import build_campaign_plan
+from repro.freeride.registry import UnknownBehaviorError
+from repro.orchestrator import ResultRecord, ResultStore, config_hash
+
+
+def _record(strategy, plan, loss, seed=0, status="ok", experiment=CAMPAIGN_EXPERIMENT,
+            **metric_overrides):
+    params = {"strategy": strategy, "plan": plan, "loss": loss, "nodes": 10}
+    metrics = {
+        "honest_evictions": 0.0,
+        "missed_detections": 0.0,
+        "detected": 1.0,
+        "detection_time_s": 5.0,
+        "anonymity_entropy_bits": 3.0,
+        "attribution_accuracy": 0.1,
+    }
+    metrics.update(metric_overrides)
+    return ResultRecord(
+        cell_id=f"{strategy}-{plan}-{loss}-{seed}",
+        experiment=experiment,
+        config_hash=config_hash(params),
+        params=params,
+        seed=seed,
+        metrics=metrics,
+        status=status,
+    )
+
+
+class TestCampaignSpec:
+    def test_defaults_validate_and_expand(self):
+        spec = CampaignSpec()
+        grid = spec.to_grid()
+        assert len(grid) == len(spec)
+        cells = grid.cells()
+        assert all(c.experiment == CAMPAIGN_EXPERIMENT for c in cells)
+        params = cells[0].params_dict
+        assert {"strategy", "plan", "loss", "nodes", "horizon",
+                "detection_bound", "heal_bound"} <= set(params)
+
+    def test_detection_bound_defaults_to_horizon(self):
+        spec = CampaignSpec(horizon=9.0)
+        assert all(
+            c.params_dict["detection_bound"] == 9.0 for c in spec.to_grid().cells()
+        )
+
+    def test_unknown_strategy_is_typed(self):
+        with pytest.raises(UnknownBehaviorError, match="sleepy"):
+            CampaignSpec(strategies=("sleepy-relay",))
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"plans": ("tsunami",)},
+            {"loss_points": (1.5,)},
+            {"loss_points": (-0.1,)},
+            {"group_sizes": (4,)},
+            {"seeds": ()},
+            {"horizon": 0.0},
+            {"detection_bound": 99.0},
+            {"heal_bound": -1.0},
+        ],
+    )
+    def test_bad_axes_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            dataclasses.replace(CampaignSpec(), **overrides)
+
+    def test_dict_round_trip(self):
+        spec = CampaignSpec.full(seeds=(0, 1))
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+    def test_cell_count_arithmetic(self):
+        spec = CampaignSpec.full(seeds=(0, 1))
+        assert len(spec) == 8 * 2 * 3 * 1 * 2
+        assert "48 cells" not in spec.describe() or len(spec) == 48
+
+    def test_grid_is_content_addressed_and_stable(self):
+        a = {c.cell_id for c in CampaignSpec.smoke().to_grid().cells()}
+        b = {c.cell_id for c in CampaignSpec.smoke().to_grid().cells()}
+        assert a == b
+
+    def test_plan_builder_names(self):
+        for name in ("none", "smoke", "storm"):
+            plan = build_campaign_plan(name, nodes=10, horizon=12.0, seed=0)
+            plan.validate(10)
+        with pytest.raises(ValueError, match="tsunami"):
+            build_campaign_plan("tsunami", nodes=10, horizon=12.0, seed=0)
+
+
+class TestFrontier:
+    def test_sound_matrix(self):
+        store = ResultStore()
+        for loss in (0.0, 0.05):
+            store.append(_record("forward-dropper", "none", loss))
+            store.append(_record("forward-dropper", "smoke", loss))
+        report = build_frontier(store)
+        assert report.baseline_ok
+        assert report.skipped == 0
+        for f in report.frontiers:
+            assert f.sound_up_to == 0.05
+            assert f.degrade_onset is None
+            assert f.false_positive_onset is None
+            assert f.requires_detection
+        assert "SOUND" in report.render()
+
+    def test_missed_detection_onset(self):
+        store = ResultStore()
+        store.append(_record("silent-relay", "none", 0.0))
+        store.append(
+            _record("silent-relay", "none", 0.10,
+                    missed_detections=1.0, detected=0.0, detection_time_s=-1.0)
+        )
+        report = build_frontier(store)
+        (f,) = report.frontiers
+        assert report.baseline_ok  # baseline (lowest loss) is clean
+        assert f.sound_up_to == 0.0
+        assert f.degrade_onset == 0.10
+        assert f.false_positive_onset is None
+        assert "detection first degrades at 10%" in f.describe()
+
+    def test_false_positive_onset_breaks_baseline(self):
+        store = ResultStore()
+        store.append(_record("flooder", "none", 0.0, honest_evictions=2.0))
+        report = build_frontier(store)
+        assert not report.baseline_ok
+        (f,) = report.frontiers
+        assert f.sound_up_to is None
+        assert f.false_positive_onset == 0.0
+        assert "false positives from 0%" in f.describe()
+        assert "UNSOUND" in report.render()
+
+    def test_undetectable_strategy_needs_no_conviction(self):
+        store = ResultStore()
+        store.append(
+            _record("no-noise", "none", 0.0, detected=0.0, detection_time_s=-1.0)
+        )
+        report = build_frontier(store)
+        (f,) = report.frontiers
+        assert not f.requires_detection
+        assert report.baseline_ok
+        assert "no conviction required" in f.describe()
+
+    def test_entropy_trend_spans_the_loss_axis(self):
+        store = ResultStore()
+        store.append(_record("forward-dropper", "none", 0.0, anonymity_entropy_bits=3.3))
+        store.append(_record("forward-dropper", "none", 0.10, anonymity_entropy_bits=2.8))
+        (f,) = build_frontier(store).frontiers
+        assert f.entropy_baseline == pytest.approx(3.3)
+        assert f.entropy_worst == pytest.approx(2.8)
+
+    def test_foreign_and_failed_and_partial_records_are_counted_not_fatal(self):
+        store = ResultStore()
+        store.append(_record("forward-dropper", "none", 0.0))
+        store.append(_record("forward-dropper", "none", 0.05, seed=1, status="failed"))
+        store.append(_record("x", "none", 0.0, seed=2, experiment="protocol"))
+        partial = _record("forward-dropper", "none", 0.05, seed=3)
+        partial.metrics = {"deliveries": 9.0}  # e.g. written by older code
+        store.append(partial)
+        report = build_frontier(store)
+        assert report.failed_cells == 1
+        assert report.foreign_records == 1
+        assert report.skipped == 1
+        assert sum(p.cells for p in report.points) == 1
+        assert "skipped" in report.render()
+
+    def test_empty_store_is_unsound(self):
+        report = build_frontier(ResultStore())
+        assert not report.baseline_ok
+        assert "UNSOUND" in report.render()
+
+    def test_seeds_fold_into_one_point(self):
+        store = ResultStore()
+        for seed in (0, 1, 2):
+            store.append(_record("forward-dropper", "none", 0.0, seed=seed,
+                                 detection_time_s=float(seed + 4)))
+        report = build_frontier(store)
+        (point,) = report.points
+        assert point.cells == 3
+        assert point.detection_required == 3
+        assert point.mean_detection_time == pytest.approx(5.0)

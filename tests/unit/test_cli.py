@@ -119,6 +119,74 @@ class TestSweep:
         capsys.readouterr()
         assert main(["sweep", "aggregate", "--run-dir", run_dir, "--metric", "nope"]) == 1
 
+    def test_run_unknown_workload_names_the_registry(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(
+                [
+                    "sweep", "run", "--run-dir", "/tmp/x",
+                    "--experiment", "portocol", "--axis", "nodes=4",
+                ]
+            )
+        message = str(err.value)
+        assert "portocol" in message and "protocol" in message
+
+
+class TestCampaign:
+    def test_unknown_strategy_rejected_before_running(self):
+        with pytest.raises(SystemExit) as err:
+            main(
+                [
+                    "campaign", "run", "--run-dir", "/tmp/x",
+                    "--strategies", "sleepy-relay", "--serial",
+                ]
+            )
+        assert "sleepy-relay" in str(err.value)
+
+    def test_serial_run_status_report_check(self, tmp_path, capsys):
+        run_dir = str(tmp_path / "camp")
+        assert (
+            main(
+                [
+                    "campaign", "run", "--run-dir", run_dir,
+                    "--strategies", "no-noise", "--plans", "none",
+                    "--loss", "0", "--nodes", "10", "--seeds", "0",
+                    "--horizon", "6", "--serial",
+                ]
+            )
+            == 0
+        )
+        assert "1/1 cells ok" in capsys.readouterr().out
+
+        assert main(["campaign", "status", "--run-dir", run_dir]) == 0
+        out = capsys.readouterr().out
+        assert "1 strategies" in out and "1/1 cells ok" in out
+
+        report_path = str(tmp_path / "frontier.txt")
+        assert (
+            main(
+                [
+                    "campaign", "report", "--run-dir", run_dir,
+                    "--out", report_path, "--check",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "accountability frontier" in out and "SOUND" in out
+        with open(report_path, encoding="utf-8") as fh:
+            assert "no-noise" in fh.read()
+
+    def test_report_on_plain_sweep_dir_is_a_clear_error(self, tmp_path):
+        run_dir = str(tmp_path / "sweep")
+        main(
+            [
+                "sweep", "run", "--run-dir", run_dir,
+                "--experiment", "fig1_point", "--axis", "nodes=100", "--serial",
+            ]
+        )
+        with pytest.raises(ValueError, match="not a campaign"):
+            main(["campaign", "report", "--run-dir", run_dir])
+
 
 class TestLive:
     def test_demo_requires_a_subcommand(self):

@@ -141,6 +141,28 @@ class TestStore:
         rows = store.aggregate("m", by="nodes")
         assert [(r["nodes"], r["mean"]) for r in rows] == [(4, 1.0), (8, 3.0)]
 
+    def test_aggregate_counts_records_missing_the_metric(self):
+        """A heterogeneous store (e.g. campaign cells next to protocol
+        cells) skips and *counts* metric-less records, never KeyErrors."""
+        store = ResultStore()
+        store.append(_record(cell_id="c0", metrics={"m": 1.0}))
+        store.append(_record(cell_id="c1", metrics={"other": 9.0}))
+        store.append(_record(cell_id="c2", metrics={}, status="failed", error="x"))
+        rows, skipped = store.aggregate("m", by="nodes", with_skipped=True)
+        assert [(r["nodes"], r["n"]) for r in rows] == [(4, 1)]
+        assert skipped == 1  # the failed record is 'failed', not 'skipped'
+        # The default return shape is unchanged for existing callers.
+        assert store.aggregate("m", by="nodes") == rows
+
+    def test_series_counts_records_missing_the_metric(self):
+        store = ResultStore()
+        store.append(_record(cell_id="c0", metrics={"m": 2.0}))
+        store.append(_record(cell_id="c1", metrics={"other": 1.0}))
+        xs, ys, skipped = store.series("nodes", "m", with_skipped=True)
+        assert (xs, ys) == ([4], [2.0])
+        assert skipped == 1
+        assert store.series("nodes", "m") == (xs, ys)
+
 
 # ---------------------------------------------------------------------------
 # inline execution + checkpoint resume (no processes)
@@ -178,9 +200,16 @@ class TestInline:
         resumed = protocol_run(dict(params), 7, second)
         assert resumed == uninterrupted
 
-    def test_unknown_workload_fails(self):
-        with pytest.raises(KeyError):
+    def test_unknown_workload_fails_with_typed_listing_error(self):
+        from repro.orchestrator import UnknownWorkloadError
+
+        with pytest.raises(UnknownWorkloadError) as err:
             run_cell_inline(SweepCell.make("no_such_experiment", {}, 0))
+        message = str(err.value)
+        assert "no_such_experiment" in message
+        for registered in ("protocol", "campaign_point", "chaos_point"):
+            assert registered in message
+        assert isinstance(err.value, KeyError)  # old except-clauses still catch
 
 
 # ---------------------------------------------------------------------------

@@ -31,7 +31,23 @@ MODULE_SURFACE = {
         "sybil_placement_cost",
         "predicted_latency",
     ],
-    "repro.freeride": ["ForwardDropper", "SilentRelay", "ReplayAttacker", "Flooder", "SelectiveDropper"],
+    "repro.freeride": [
+        "ForwardDropper",
+        "SilentRelay",
+        "ReplayAttacker",
+        "Flooder",
+        "SelectiveDropper",
+        "BEHAVIORS",
+        "behavior_names",
+        "make_behavior",
+    ],
+    "repro.campaign": [
+        "CampaignSpec",
+        "run_campaign",
+        "run_campaign_cell",
+        "build_frontier",
+        "campaign_report",
+    ],
     "repro.experiments": [
         "figure1",
         "figure3",
