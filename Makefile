@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-baseline ci-bench-smoke sweep-smoke live-smoke chaos-smoke campaign-smoke report examples ci clean
+.PHONY: install test bench bench-baseline ci-bench-smoke sweep-smoke live-smoke chaos-smoke campaign-smoke scale-smoke report examples ci clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -46,6 +46,19 @@ campaign-smoke:  # 2 strategies x 2 fault plans x 1 loss point, pool + injected 
 		--spec smoke --workers 2 --inject-crash 1
 	PYTHONPATH=src $(PYTHON) -m repro campaign report --run-dir results/campaign_smoke --check
 
+scale-smoke:  # sharded N=64 on 2 workers == monolithic; pool and serial fingerprints identical
+	rm -rf results/scale_smoke
+	PYTHONPATH=src $(PYTHON) -m repro scale run --run-dir results/scale_smoke/pool \
+		--nodes 64 --shards 2 --seed 7 --horizon 2.0 --workers 2 --verify
+	PYTHONPATH=src $(PYTHON) -c "import json; \
+		from repro.orchestrator.sharded import load_sharded_manifest, run_sharded; \
+		spec, _ = load_sharded_manifest('results/scale_smoke/pool'); \
+		pool = [json.load(open('results/scale_smoke/pool/summary/shard%03d.json' % k))['fingerprint'] for k in range(spec.num_shards)]; \
+		serial = run_sharded(spec, 'results/scale_smoke/serial', serial=True).shard_fingerprints; \
+		assert pool == serial, (pool, serial); \
+		print('pool/serial shard fingerprints identical:', ' '.join(f[:16] for f in pool))"
+	rm -rf results/scale_smoke
+
 report:
 	$(PYTHON) -m repro report --output results/full_report.txt
 
@@ -56,7 +69,9 @@ ci:  # what .github/workflows/ci.yml runs
 	$(MAKE) live-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) campaign-smoke
+	$(MAKE) scale-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_smoke.py -q
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_scale.py -q
 
 examples:
 	for ex in examples/*.py; do echo "=== $$ex ==="; $(PYTHON) $$ex || exit 1; done

@@ -134,6 +134,33 @@ def measure_end_to_end(nodes: int = 64) -> dict:
     }
 
 
+def measure_scaling(points=None, horizon: float = 2.0) -> dict:
+    """The sharded-simulator ``scaling`` section: events/s and wall time
+    at N in {64, 256, 1024}, measured with the same code path as the
+    committed ``results/scaling_curve.txt`` artifact."""
+    from repro.experiments.scale_curve import SCALE_POINTS, measure_point
+
+    measured = []
+    for nodes, shards in points or SCALE_POINTS:
+        point = measure_point(nodes, shards, horizon=horizon)
+        # fingerprint lists live in results/scaling_curve.txt; the bench
+        # file keeps the curve compact and diffable
+        point.pop("shard_fingerprints", None)
+        point.pop("shard_nodes", None)
+        measured.append(point)
+    return {"horizon": horizon, "points": measured}
+
+
+def record_scaling(path: pathlib.Path = BASELINE_PATH) -> dict:
+    """Measure the scaling curve and fold it into the committed bench
+    file, leaving every other section untouched (the microbench and
+    end-to-end sections take minutes to re-measure)."""
+    doc = json.loads(path.read_text())
+    doc["scaling"] = measure_scaling()
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return doc
+
+
 def record(path: pathlib.Path = BASELINE_PATH, quick: bool = False) -> dict:
     micro = {
         "keystream_10k_us": round(measure_keystream_10k(), 1),
@@ -164,6 +191,12 @@ def record(path: pathlib.Path = BASELINE_PATH, quick: bool = False) -> dict:
         doc["speedups"]["end_to_end_64_node"] = round(
             SEED_BASELINE["end_to_end_64_node_wall_s"] / end["wall_seconds"], 2
         )
+    if path.exists():
+        # a full re-record must not silently drop the scaling section
+        # (it is re-measured separately via --scaling)
+        previous = json.loads(path.read_text())
+        if "scaling" in previous:
+            doc["scaling"] = previous["scaling"]
     path.write_text(json.dumps(doc, indent=2) + "\n")
     return doc
 
@@ -174,8 +207,17 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="skip the ~2-minute 64-node end-to-end run"
     )
+    parser.add_argument(
+        "--scaling",
+        action="store_true",
+        help="re-measure only the sharded scaling section (N=64/256/1024) "
+        "and fold it into the existing baseline file",
+    )
     args = parser.parse_args(argv)
-    doc = record(args.output, quick=args.quick)
+    if args.scaling:
+        doc = record_scaling(args.output)
+    else:
+        doc = record(args.output, quick=args.quick)
     print(json.dumps(doc, indent=2))
     print(f"\n[written {args.output}]")
     return 0

@@ -1,0 +1,71 @@
+"""CI regression gate for the sharded-simulator scaling baseline.
+
+Re-measures the N=64 sharded scale point with the exact methodology of
+``benchmarks/baseline.py --scaling`` (which shares its measurement
+function with ``repro scale run`` and the committed
+``results/scaling_curve.txt``) and fails when sharded events/s has
+regressed more than 2x against the ``scaling`` section of the
+committed ``BENCH_protocol.json``. N=256/1024 are not re-measured in
+CI — the per-event cost is the same engine, so the N=64 point catches
+a regressed hot path at a fraction of the wall time.
+"""
+
+import json
+
+import pytest
+
+from benchmarks import baseline
+
+REGRESSION_FACTOR = 2.0
+
+
+@pytest.fixture(scope="module")
+def committed_scaling():
+    if not baseline.BASELINE_PATH.exists():
+        pytest.skip("no committed BENCH_protocol.json (run `make bench` first)")
+    doc = json.loads(baseline.BASELINE_PATH.read_text())
+    if "scaling" not in doc:
+        pytest.skip("no scaling section (run `python benchmarks/baseline.py --scaling`)")
+    return doc["scaling"]
+
+
+def _committed_point(scaling: dict, nodes: int) -> dict:
+    for point in scaling["points"]:
+        if point["nodes"] == nodes:
+            return point
+    pytest.skip(f"no committed N={nodes} scaling point")
+
+
+def test_sharded_events_per_sec_within_2x_of_baseline(committed_scaling):
+    from repro.experiments.scale_curve import measure_point
+
+    committed = _committed_point(committed_scaling, 64)
+    measured = measure_point(
+        64, committed["shards"], horizon=committed_scaling["horizon"], seed=committed["seed"]
+    )
+    floor = committed["events_per_sec"] / REGRESSION_FACTOR
+    assert measured["events_per_sec"] >= floor, (
+        f"sharded N=64 regressed: {measured['events_per_sec']:,} events/s measured vs "
+        f"{committed['events_per_sec']:,} committed (>{REGRESSION_FACTOR}x; re-run "
+        f"`python benchmarks/baseline.py --scaling` if this is an intentional trade-off)"
+    )
+    # Same spec, same seed: the fingerprint is part of the baseline too.
+    assert measured["merged_fingerprint"] == committed["merged_fingerprint"], (
+        "sharded N=64 outcome fingerprint drifted from the committed baseline — "
+        "the sharded schedule is no longer reproducible"
+    )
+
+
+def test_sharded_event_totals_match_baseline(committed_scaling):
+    # The committed curve must be internally consistent: events/s and
+    # wall agree, and event counts grow with N (a truncated or failed
+    # point would show up here before the artifact is trusted).
+    points = committed_scaling["points"]
+    assert [p["nodes"] for p in points] == sorted(p["nodes"] for p in points)
+    assert points[-1]["nodes"] >= 1024
+    for p in points:
+        assert p["events_processed"] > 0 and p["wall_seconds"] > 0
+        implied = p["events_processed"] / p["wall_seconds"]
+        assert implied == pytest.approx(p["events_per_sec"], rel=0.05)
+    counts = [p["events_processed"] for p in points]
+    assert counts == sorted(counts)

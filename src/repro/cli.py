@@ -13,6 +13,7 @@
     python -m repro live demo --nodes 8 --duration 10  # real-TCP cluster
     python -m repro chaos run --substrate both  # fault plan + invariant check
     python -m repro campaign run --spec smoke --run-dir /tmp/c  # adversarial matrix
+    python -m repro scale verify --nodes 64 --shards 2  # sharded == monolithic
 
 Every command prints the same tables the benches write to
 ``results/``.
@@ -264,14 +265,70 @@ def build_parser() -> argparse.ArgumentParser:
         "evicted an honest node (CI smoke contract)",
     )
 
+    scale = sub.add_parser(
+        "scale",
+        help="group-sharded parallel simulation: one deterministic "
+        "sub-simulator per group bundle, merged at epoch barriers",
+    )
+    scale_sub = scale.add_subparsers(dest="scale_command", required=True)
+
+    def _scale_spec_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--nodes", type=int, default=64, help="population size (default 64)")
+        p.add_argument("--shards", type=int, default=2, help="sub-simulators (default 2)")
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--horizon", type=float, default=4.0, help="sim seconds (default 4)")
+        p.add_argument("--epoch", type=float, default=1.0, help="barrier period (default 1)")
+        p.add_argument(
+            "--messages", type=int, default=1, help="messages per node pair (default 1)"
+        )
+        p.add_argument("--group-max", type=int, default=16, help="group split bound (default 16)")
+        p.add_argument(
+            "--deviant",
+            action="append",
+            default=[],
+            metavar="INDEX=BEHAVIOR",
+            help="plant a freeride behaviour at a 1-based creation index; repeatable",
+        )
+
+    srun = scale_sub.add_parser("run", help="run a sharded simulation on the worker pool")
+    srun.add_argument("--run-dir", required=True, help="run directory (barriers, snapshots, store)")
+    _scale_spec_flags(srun)
+    srun.add_argument("--workers", type=int, default=2, help="worker processes (default 2)")
+    srun.add_argument("--serial", action="store_true", help="run shards in-process, no pool")
+    srun.add_argument(
+        "--inject-crash",
+        type=int,
+        default=0,
+        metavar="K",
+        help="chaos-test: kill the first attempt of the first K shard cells",
+    )
+    srun.add_argument(
+        "--verify",
+        action="store_true",
+        help="also run the monolithic simulation and assert outcome equivalence",
+    )
+
+    sverify = scale_sub.add_parser(
+        "verify", help="serial sharded run + monolithic run, compared for equivalence"
+    )
+    sverify.add_argument(
+        "--run-dir", default=None, help="run directory (default: a fresh temp dir)"
+    )
+    _scale_spec_flags(sverify)
+
+
     return parser
 
 
 def main(argv: "Optional[List[str]]" = None) -> int:
     try:
         args = build_parser().parse_args(argv)
-        if args.profile:
+        if args.profile and args.command != "scale":
             return _profiled_dispatch(args)
+        # `scale` profiles per shard inside the workers (one dump per
+        # shard id plus a merged report) rather than wrapping the
+        # coordinator: two enabled cProfile instances in one process
+        # is an error, and the coordinator does no simulation work.
         return _dispatch(args)
     except BrokenPipeError:
         # Piping into `head` etc. closes stdout early; not an error.
@@ -358,6 +415,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _dispatch_chaos(args)
     elif args.command == "campaign":
         return _dispatch_campaign(args)
+    elif args.command == "scale":
+        return _dispatch_scale(args)
     elif args.command == "measure":
         from .experiments.empirical import measure_rac_throughput
 
@@ -511,6 +570,81 @@ def _dispatch_campaign(args: argparse.Namespace) -> int:
                 )
                 return 1
         return 0
+    return 0
+
+
+def _scale_spec_from_args(args: argparse.Namespace):
+    from .simnet.shard import ScaleSpec
+
+    deviants = {}
+    for pair in args.deviant:
+        if "=" not in pair:
+            raise SystemExit(f"--deviant expects INDEX=BEHAVIOR, got {pair!r}")
+        index, behavior = pair.split("=", 1)
+        deviants[int(index)] = behavior
+    return ScaleSpec(
+        nodes=args.nodes,
+        num_shards=args.shards,
+        seed=args.seed,
+        horizon=args.horizon,
+        epoch=args.epoch,
+        messages=args.messages,
+        group_max=args.group_max,
+        deviants=deviants,
+    )
+
+
+def _render_scale_outcome(outcome) -> str:
+    lines = [
+        f"nodes={outcome.spec.nodes} shards={outcome.spec.num_shards} "
+        f"epochs={outcome.spec.epoch_count} horizon={outcome.spec.horizon}s",
+        f"delivered {len(outcome.delivered)} payloads, {len(outcome.evicted)} evicted, "
+        f"{outcome.events_processed} events in {outcome.wall_seconds:.2f}s wall "
+        f"({outcome.events_per_second:,.0f} events/s)",
+    ]
+    for shard, fingerprint in enumerate(outcome.shard_fingerprints):
+        summary = outcome.per_shard[shard]
+        lines.append(
+            f"  shard {shard}: groups={summary['groups']} nodes={summary['nodes']} "
+            f"delivered={len(summary['delivered'])} {fingerprint[:16]}"
+        )
+    lines.append(f"merged fingerprint: {outcome.merged_fingerprint}")
+    return "\n".join(lines)
+
+
+def _dispatch_scale(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from .orchestrator.sharded import run_sharded, verify_sharded
+
+    spec = _scale_spec_from_args(args)
+    if args.scale_command == "run":
+        outcome = run_sharded(
+            spec,
+            args.run_dir,
+            workers=args.workers,
+            serial=args.serial,
+            inject_crash=args.inject_crash,
+            profile=args.profile,
+        )
+        print(_render_scale_outcome(outcome))
+        if args.profile:
+            print(outcome.profile_report)
+        if args.verify:
+            report = verify_sharded(outcome)
+            print(report.render())
+            if not report.equivalent:
+                return 1
+    elif args.scale_command == "verify":
+        run_dir = args.run_dir or tempfile.mkdtemp(prefix="rac_scale_verify_")
+        outcome = run_sharded(spec, run_dir, serial=True, profile=args.profile)
+        print(_render_scale_outcome(outcome))
+        if args.profile:
+            print(outcome.profile_report)
+        report = verify_sharded(outcome)
+        print(report.render())
+        if not report.equivalent:
+            return 1
     return 0
 
 

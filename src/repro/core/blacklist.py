@@ -29,7 +29,7 @@ from .messages import DomainId
 __all__ = ["BlacklistEntry", "Blacklist", "EvictionTracker"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BlacklistEntry:
     """Why a node was locally blacklisted."""
 
@@ -40,6 +40,8 @@ class BlacklistEntry:
 
 class Blacklist:
     """A node's local blacklist (relay or per-domain predecessor)."""
+
+    __slots__ = ("_entries",)
 
     def __init__(self) -> None:
         self._entries: Dict[int, BlacklistEntry] = {}
@@ -74,6 +76,16 @@ class EvictionTracker:
     runs the same tally over the same broadcast accusations and reaches
     the same verdicts deterministically.
     """
+
+    __slots__ = (
+        "_predecessor_threshold",
+        "_relay_threshold",
+        "_predecessor_accusers",
+        "_rate_high_accusers",
+        "_rate_high_filers",
+        "_relay_votes",
+        "evicted",
+    )
 
     def __init__(
         self,

@@ -32,6 +32,7 @@ a bug (see DESIGN.md "Fault model").
 from __future__ import annotations
 
 import heapq
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -44,7 +45,7 @@ __all__ = ["RelaySuspicion", "RelayMonitor", "PredecessorMonitor", "RateMonitor"
 # Check 1 — relays forward what they are given
 # --------------------------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class RelaySuspicion:
     """Verdict of check 1: ``relay`` failed to re-broadcast ``msg_id``."""
 
@@ -53,7 +54,7 @@ class RelaySuspicion:
     onion_ref: int
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingOnion:
     """Sender-side record of one onion's expected broadcast chain."""
 
@@ -69,6 +70,8 @@ class RelayMonitor:
     """Tracks every onion a node sent and blames the *first* relay whose
     layer never appeared (paper: *"The first relay, if any, that does
     not correctly decipher and forward the message, is suspected"*)."""
+
+    __slots__ = ("_pending", "_watch", "_next_ref")
 
     def __init__(self) -> None:
         self._pending: Dict[int, _PendingOnion] = {}
@@ -151,6 +154,8 @@ class PredecessorMonitor:
     new successor).
     """
 
+    __slots__ = ("timeout", "_deadlines", "_armed", "_expected", "_checked")
+
     def __init__(self, timeout: float) -> None:
         self.timeout = timeout
         #: Min-heap of (deadline, arm-order, msg_id). Deadlines are
@@ -203,7 +208,7 @@ class PredecessorMonitor:
 # Check 3 — group predecessors keep the constant rate
 # --------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RateVerdict:
     """A rate violation by one group-ring predecessor."""
 
@@ -222,18 +227,23 @@ class RateMonitor:
     flooding to waste resources, Lemma 7).
     """
 
+    __slots__ = ("window", "max_per_window", "_arrivals", "_tracked_since")
+
     def __init__(self, window: float, max_per_window: int) -> None:
         if window <= 0:
             raise ValueError("rate window must be positive")
         self.window = window
         self.max_per_window = max_per_window
-        self._arrivals: Dict[int, List[float]] = {}
+        #: predecessor -> trailing-window arrival times. Typed arrays,
+        #: not lists: every node keeps one window per group predecessor,
+        #: and at 1024+ nodes per-float object overhead dominates.
+        self._arrivals: Dict[int, "array[float]"] = {}
         self._tracked_since: Dict[int, float] = {}
 
     def track(self, predecessor: int, now: float) -> None:
         """Start watching a predecessor (on topology change)."""
         self._tracked_since.setdefault(predecessor, now)
-        self._arrivals.setdefault(predecessor, [])
+        self._arrivals.setdefault(predecessor, array("d"))
 
     def untrack(self, predecessor: int) -> None:
         self._tracked_since.pop(predecessor, None)

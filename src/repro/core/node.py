@@ -62,6 +62,35 @@ class PendingSend:
 class RacNode:
     """One protocol participant."""
 
+    __slots__ = (
+        "node_id",
+        "config",
+        "env",
+        "id_keypair",
+        "pseudonym_keypair",
+        "behavior",
+        "rng",
+        "active",
+        "joined_at",
+        "_states",
+        "_pred_monitors",
+        "_ring_edges",
+        "relay_monitor",
+        "rate_monitor",
+        "relays_blacklist",
+        "pred_blacklists",
+        "eviction_tracker",
+        "send_queue",
+        "_relay_duties",
+        "_onion_payloads",
+        "delivered",
+        "delivered_at",
+        "_control_seen",
+        "_opaque_peels",
+        "counters",
+        "_ticks_since_gc",
+    )
+
     def __init__(
         self,
         node_id: int,

@@ -189,12 +189,21 @@ class RacSystem:
                 other.on_evicted(accused)
         # Eviction notices to the channels (f+1 needed per channel): in
         # the shared-view simulation they are pure cost accounting.
-        notices = (len(self.directory.groups) - 1) * (
+        notices = (self._notice_group_count() - 1) * (
             self.config.relay_accusation_threshold(len(group)) if len(group) else 1
         )
         self.stats.add("eviction_notices", max(0, notices))
         self.stats.add("evictions")
         self.tracer.record(self.now, "evicted", node=accused, by=reporter, evidence=kind)
+
+    def _notice_group_count(self) -> int:
+        """How many groups receive an eviction notice.
+
+        The monolithic system sees every group; a shard only hosts its
+        bundle, so it overrides this with the deployment-wide group
+        count to keep the cost accounting identical to an unsharded run.
+        """
+        return len(self.directory.groups)
 
     def _on_transport_failure(self, src: int, dst: int, payload) -> None:
         """The ARQ gave up on a segment: the peer is unreachable.
@@ -339,6 +348,13 @@ class RacSystem:
     def _create_node(self, behavior=None) -> int:
         self._key_seed += 1
         material = generate_node_material(self.rng, self._key_seed, self.config)
+        return self._instantiate_node(material, behavior)
+
+    def _instantiate_node(self, material, behavior=None) -> int:
+        """Wire one pre-drawn :class:`~repro.core.identity.NodeMaterial`
+        into the system. Split out of :meth:`_create_node` so a shard
+        (:mod:`repro.simnet.shard`) can host a subset of a population
+        whose identities were drawn by the coordinator."""
         node_id = material.node_id
         self._puzzle_vectors[node_id] = material.puzzle.vector
         node = RacNode(
@@ -439,19 +455,33 @@ class RacSystem:
             # simulating an all-empty shuffle changes no state.)
             shuffled = []
         elif len(members) <= self.config.full_shuffle_max:
-            shuffled = self._cryptographic_shuffle(contributions)
+            shuffled = self._cryptographic_shuffle(gid, contributions)
         else:
-            shuffled = self._logical_shuffle(contributions, len(members))
+            shuffled = self._logical_shuffle(gid, contributions, len(members))
         if shuffled:
             for member in members:
                 member.ingest_shuffle_round(gid, len(members), shuffled)
             self.stats.add("blacklist_rounds")
 
-    def _cryptographic_shuffle(self, contributions: List[Tuple[int, ...]]) -> List[Tuple[int, ...]]:
+    def _shuffle_rng(self, gid: int) -> random.Random:
+        """RNG feeding group ``gid``'s blacklist shuffle.
+
+        The monolithic system draws every group's permutation from the
+        single system RNG in gid order (pinned by the determinism
+        fingerprints). A shard (:mod:`repro.simnet.shard`) overrides
+        this with a per-group derived RNG so the draw sequence does not
+        depend on which other groups share the process. Either way the
+        *outcome* is permutation-independent: eviction tallies count
+        blacklist contents as sets.
+        """
+        return self.rng
+
+    def _cryptographic_shuffle(self, gid: int, contributions: List[Tuple[int, ...]]) -> List[Tuple[int, ...]]:
         width = 16
+        rng = self._shuffle_rng(gid)
         encoded = [_encode_blacklist(c, width) for c in contributions]
         participants = [
-            ShuffleParticipant(i, backend="sim", rng=random.Random(self.rng.getrandbits(62)))
+            ShuffleParticipant(i, backend="sim", rng=random.Random(rng.getrandbits(62)))
             for i in range(len(encoded))
         ]
         result = run_shuffle(participants, encoded)
@@ -461,9 +491,9 @@ class RacSystem:
             return []
         return [_decode_blacklist(m) for m in result.messages]
 
-    def _logical_shuffle(self, contributions: List[Tuple[int, ...]], n: int) -> List[Tuple[int, ...]]:
+    def _logical_shuffle(self, gid: int, contributions: List[Tuple[int, ...]], n: int) -> List[Tuple[int, ...]]:
         shuffled = list(contributions)
-        self.rng.shuffle(shuffled)
+        self._shuffle_rng(gid).shuffle(shuffled)
         # Same message complexity as the real shuffle: n submissions +
         # n sequential batches of n items + n key reveals.
         self.stats.add("shuffle_messages", n * n + 2 * n)

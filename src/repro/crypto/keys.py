@@ -80,7 +80,7 @@ def clear_kem_cache() -> None:
     _KEM_CACHE.clear()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PublicKey:
     """A public key: a stable 128-bit ``key_id`` plus backend material."""
 
@@ -101,6 +101,8 @@ class PublicKey:
 
 class KeyPair:
     """A private/public key pair under one of the two backends."""
+
+    __slots__ = ("backend", "public", "_private")
 
     def __init__(self, backend: str, public: PublicKey, _private) -> None:
         self.backend = backend

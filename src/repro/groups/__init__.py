@@ -9,6 +9,13 @@
 from .assignment import PuzzleSolution, expected_attempts, solve_puzzle, verify_puzzle
 from .channels import ChannelDirectory, channel_key
 from .manager import Group, GroupDirectory, GroupEvent
+from .partition import (
+    BundleDirectory,
+    GroupSpec,
+    ShardPartitionError,
+    plan_bundles,
+    snapshot_groups,
+)
 
 __all__ = [
     "PuzzleSolution",
@@ -20,4 +27,9 @@ __all__ = [
     "Group",
     "GroupDirectory",
     "GroupEvent",
+    "BundleDirectory",
+    "GroupSpec",
+    "ShardPartitionError",
+    "plan_bundles",
+    "snapshot_groups",
 ]

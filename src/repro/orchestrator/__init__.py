@@ -25,6 +25,13 @@ recovery, resume and schema round-trips.
 from .grid import SweepCell, SweepGrid, config_hash
 from .store import RESULT_SCHEMA_VERSION, ResultRecord, ResultStore, StoreSchemaError
 from .pool import CRASH_EXIT_CODE, SweepOrchestrator, SweepStatus, run_cell_inline, run_grid_inline
+from .sharded import (
+    EquivalenceReport,
+    ShardedOutcome,
+    load_sharded_manifest,
+    run_sharded,
+    verify_sharded,
+)
 from .workloads import (
     WORKLOADS,
     UnknownWorkloadError,
@@ -45,6 +52,11 @@ __all__ = [
     "CRASH_EXIT_CODE",
     "SweepOrchestrator",
     "SweepStatus",
+    "EquivalenceReport",
+    "ShardedOutcome",
+    "load_sharded_manifest",
+    "run_sharded",
+    "verify_sharded",
     "run_cell_inline",
     "run_grid_inline",
     "WORKLOADS",

@@ -315,6 +315,63 @@ def chaos_point(params: "Dict[str, Any]", seed: int, ctx: WorkerContext) -> "Dic
     }
 
 
+@workload("shard_epoch")
+def shard_epoch(params: "Dict[str, Any]", seed: int, ctx: WorkerContext) -> "Dict[str, float]":
+    """One (shard, epoch) step of a group-sharded run.
+
+    Parameters: ``run_dir`` (holds the ``sharded.json`` manifest with
+    the full :class:`~repro.simnet.shard.ScaleSpec`), ``shard``,
+    ``epoch``. State lives in the shard's snapshot under the run dir;
+    see :func:`repro.orchestrator.sharded.run_shard_epoch` for the
+    idempotency contract that makes crash retries exactly-once.
+    """
+    from .sharded import run_shard_epoch
+
+    return run_shard_epoch(params, seed, ctx)
+
+
+@workload("scale_point")
+def scale_point(params: "Dict[str, Any]", seed: int, ctx: WorkerContext) -> "Dict[str, float]":
+    """One sharded end-to-end run at population ``nodes`` (scaling curve).
+
+    Parameters: ``nodes``, ``shards``, ``horizon``, ``epoch``,
+    ``messages``, ``group_max``. Shards execute serially inside this
+    cell (a pool worker must not spawn its own pool); the scratch run
+    directory is private to the cell and torn down afterwards, so the
+    metrics depend only on ``(params, seed)``.
+    """
+    import shutil
+    import tempfile
+
+    from ..simnet.shard import ScaleSpec
+    from .sharded import run_sharded
+
+    spec = ScaleSpec(
+        nodes=int(params.get("nodes", 64)),
+        num_shards=int(params.get("shards", 2)),
+        seed=seed,
+        horizon=float(params.get("horizon", 4.0)),
+        epoch=float(params.get("epoch", 1.0)),
+        messages=int(params.get("messages", 1)),
+        group_max=int(params.get("group_max", 16)),
+    )
+    scratch = tempfile.mkdtemp(prefix="scale_point_")
+    try:
+        outcome = run_sharded(spec, scratch, serial=True)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    ctx.maybe_crash()
+    return {
+        "sim_time_s": spec.horizon,
+        "events_processed": float(outcome.events_processed),
+        "deliveries": float(len(outcome.delivered)),
+        "evictions": float(len(outcome.evicted)),
+        "wall_seconds": float(outcome.wall_seconds),
+        "events_per_second": float(outcome.events_per_second),
+        "shards": float(spec.num_shards),
+    }
+
+
 @workload("campaign_point")
 def campaign_point(params: "Dict[str, Any]", seed: int, ctx: WorkerContext) -> "Dict[str, float]":
     """One adversarial-campaign cell: strategy × fault plan × loss point.

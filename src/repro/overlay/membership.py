@@ -22,6 +22,8 @@ __all__ = ["MembershipView"]
 class MembershipView:
     """The node set, key directory and rings of one broadcast domain."""
 
+    __slots__ = ("num_rings", "topology", "_id_keys")
+
     def __init__(self, num_rings: int, members: "Iterable[int]" = ()) -> None:
         self.num_rings = num_rings
         self.topology = RingTopology([], num_rings)

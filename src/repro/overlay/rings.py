@@ -32,6 +32,8 @@ class RingTopology:
     eviction.
     """
 
+    __slots__ = ("num_rings", "_rings", "_members")
+
     def __init__(self, node_ids: Iterable[int], num_rings: int) -> None:
         if num_rings < 1:
             raise ValueError("at least one ring is required")

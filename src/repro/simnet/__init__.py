@@ -15,7 +15,14 @@
 from .engine import ScheduledEvent, SimulationError, Simulator
 from .faults import DIRECTIONS, FaultInjector, Outage, Partition
 from .network import DEFAULT_PROPAGATION_DELAY, GBPS, Link, Packet, StarNetwork
-from .stats import Counter, LatencyMeter, StatsRegistry, ThroughputMeter, summarize
+from .stats import (
+    Counter,
+    LatencyMeter,
+    StatsRegistry,
+    ThroughputMeter,
+    aggregate_stats_reports,
+    summarize,
+)
 from .trace import TraceEvent, Tracer
 from .transport import Ack, ReliableTransport, Segment
 
@@ -42,4 +49,5 @@ __all__ = [
     "Tracer",
     "ReliableTransport",
     "Segment",
+    "aggregate_stats_reports",
 ]

@@ -63,6 +63,8 @@ class Link:
     without per-byte events.
     """
 
+    __slots__ = ("sim", "bandwidth_bps", "busy_until", "bytes_carried", "packets_carried", "rate_factor")
+
     def __init__(self, sim: Simulator, bandwidth_bps: float) -> None:
         if bandwidth_bps <= 0:
             raise ValueError("bandwidth must be positive")

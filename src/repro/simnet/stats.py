@@ -9,8 +9,9 @@ evictions, ...) that the tests and benches assert on.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Mapping, Tuple
 
 __all__ = [
     "ThroughputMeter",
@@ -18,6 +19,7 @@ __all__ = [
     "Counter",
     "StatsRegistry",
     "engine_counters",
+    "aggregate_stats_reports",
     "summarize",
 ]
 
@@ -37,47 +39,83 @@ def engine_counters(sim) -> "Dict[str, int]":
     }
 
 
+def aggregate_stats_reports(reports: "Iterable[Mapping[str, float]]") -> "Dict[str, float]":
+    """Sum per-shard ``stats_report`` dicts into one deployment view.
+
+    A sharded run (:mod:`repro.simnet.shard`) has one engine per shard;
+    the coordinator's own simulator processes no protocol events, so a
+    deployment-wide report must sum the shards' counters —
+    ``sim_events_processed`` / ``sim_events_cancelled`` /
+    ``sim_queue_compactions`` included — rather than echoing any single
+    engine. Every key is summed; keys missing from some shards count as
+    zero there (shards legitimately differ, e.g. only one hosts the
+    deviant's group).
+    """
+    merged: "Dict[str, float]" = {}
+    for report in reports:
+        for key, value in report.items():
+            merged[key] = merged.get(key, 0) + value
+    return merged
+
+
 class ThroughputMeter:
     """Records (time, bytes) delivery samples and reports rates.
 
     Rates can be computed over the whole run or over a trailing
     warm-up-excluded window, which is what the benches use: start-up
     transients (empty pipelines) would otherwise bias the average.
+
+    Samples live in two parallel typed arrays, not a list of tuples:
+    every node of a large simulation carries one of these meters, and
+    at 1024+ nodes the per-tuple object overhead dominated the meter's
+    footprint.
     """
 
+    __slots__ = ("_times", "_bytes", "total_bytes", "count")
+
     def __init__(self) -> None:
-        self.samples: List[Tuple[float, int]] = []
+        self._times = array("d")
+        self._bytes = array("q")
         self.total_bytes = 0
         self.count = 0
+
+    @property
+    def samples(self) -> "List[Tuple[float, int]]":
+        return list(zip(self._times, self._bytes))
 
     def record(self, now: float, nbytes: int) -> None:
         if nbytes < 0:
             raise ValueError("cannot record negative bytes")
-        self.samples.append((now, nbytes))
+        self._times.append(now)
+        self._bytes.append(nbytes)
         self.total_bytes += nbytes
         self.count += 1
 
     def throughput_bps(self, start: float = 0.0, end: "float | None" = None) -> float:
         """Average delivery rate in bits/s over ``[start, end]``."""
-        if not self.samples:
+        if not self._times:
             return 0.0
-        horizon = end if end is not None else self.samples[-1][0]
+        horizon = end if end is not None else self._times[-1]
         window = horizon - start
         if window <= 0:
             return 0.0
-        in_window = sum(nbytes for t, nbytes in self.samples if start <= t <= horizon)
+        in_window = sum(
+            nbytes for t, nbytes in zip(self._times, self._bytes) if start <= t <= horizon
+        )
         return in_window * 8 / window
 
     def deliveries(self, start: float = 0.0, end: "float | None" = None) -> int:
         horizon = end if end is not None else float("inf")
-        return sum(1 for t, _ in self.samples if start <= t <= horizon)
+        return sum(1 for t in self._times if start <= t <= horizon)
 
 
 class LatencyMeter:
     """Records per-message latencies and reports distribution stats."""
 
+    __slots__ = ("samples",)
+
     def __init__(self) -> None:
-        self.samples: List[float] = []
+        self.samples = array("d")
 
     def record(self, latency: float) -> None:
         if latency < 0:

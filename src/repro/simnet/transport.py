@@ -96,6 +96,30 @@ class ReliableTransport:
     HEADER_BYTES = 40  # IP + TCP headers, rounded
     ACK_BYTES = 40  # a bare ACK is all header
 
+    __slots__ = (
+        "sim",
+        "network",
+        "stats",
+        "rto_initial",
+        "rto_min",
+        "rto_max",
+        "max_retries",
+        "on_failure",
+        "_handlers",
+        "_next_seq",
+        "_expected",
+        "_holdback",
+        "_outstanding",
+        "_srtt",
+        "_rttvar",
+        "segments_sent",
+        "retransmits",
+        "acks_sent",
+        "duplicates",
+        "messages_delivered",
+        "delivery_failures",
+    )
+
     def __init__(
         self,
         network: StarNetwork,

@@ -1,0 +1,97 @@
+"""Sharded-vs-monolithic equivalence and merge-layer guarantees.
+
+The sharded simulator's contract (DESIGN.md §14): same spec, same
+seed — the delivered-payload multiset and the eviction set match the
+monolithic run exactly; the cross-shard schedule (barrier contents and
+per-shard fingerprints) is byte-identical across repeat runs; and an
+eviction exported by one shard is applied in every other shard within
+one epoch of the barrier that carried it.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.orchestrator.sharded import run_sharded, verify_sharded
+from repro.simnet.shard import ScaleSpec, run_monolithic
+
+
+SPEC = ScaleSpec(nodes=24, num_shards=2, seed=3, horizon=3.0)
+EVICT_SPEC = ScaleSpec(
+    nodes=24, num_shards=2, seed=3, horizon=6.0, deviants={1: "silent-relay"}
+)
+
+
+class TestOutcomeEquivalence:
+    def test_sharded_matches_monolithic(self, tmp_path):
+        outcome = run_sharded(SPEC, str(tmp_path / "run"), serial=True)
+        report = verify_sharded(outcome)
+        assert report.equivalent, report.render()
+        assert len(outcome.delivered) > 0
+
+    def test_eviction_equivalence(self, tmp_path):
+        outcome = run_sharded(EVICT_SPEC, str(tmp_path / "run"), serial=True)
+        report = verify_sharded(outcome)
+        assert report.equivalent, report.render()
+        assert len(outcome.evicted) == 1
+        (record,) = outcome.evicted.values()
+        assert record["kind"] == "relay"
+        mono = run_monolithic(EVICT_SPEC)
+        assert set(int(k) for k in outcome.evicted) == set(int(k) for k in mono.evicted)
+
+
+class TestBarrierDeterminism:
+    def test_repeat_runs_are_byte_identical(self, tmp_path):
+        first = run_sharded(SPEC, str(tmp_path / "a"), serial=True)
+        second = run_sharded(SPEC, str(tmp_path / "b"), serial=True)
+        assert first.shard_fingerprints == second.shard_fingerprints
+        assert first.merged_fingerprint == second.merged_fingerprint
+        # The barrier files themselves — the cross-shard schedule — must
+        # be byte-identical, not merely semantically equal.
+        for epoch in range(SPEC.epoch_count):
+            name = os.path.join("barriers", f"epoch{epoch:03d}.json")
+            a = open(tmp_path / "a" / name, "rb").read()
+            b = open(tmp_path / "b" / name, "rb").read()
+            assert a == b
+
+    def test_different_seed_diverges(self, tmp_path):
+        other = ScaleSpec(nodes=24, num_shards=2, seed=4, horizon=3.0)
+        first = run_sharded(SPEC, str(tmp_path / "a"), serial=True)
+        second = run_sharded(other, str(tmp_path / "b"), serial=True)
+        assert first.merged_fingerprint != second.merged_fingerprint
+
+
+class TestBlacklistDissemination:
+    def test_eviction_reaches_every_shard_within_one_epoch(self, tmp_path):
+        run_dir = tmp_path / "run"
+        outcome = run_sharded(EVICT_SPEC, str(run_dir), serial=True)
+        (evicted_id,) = (int(k) for k in outcome.evicted)
+        record = outcome.evicted[str(evicted_id)]
+
+        # The eviction must appear in exactly one shard's export file
+        # for the epoch that contains its timestamp...
+        evict_epoch = min(
+            e for e in range(EVICT_SPEC.epoch_count)
+            if record["at"] <= EVICT_SPEC.epoch_end(e)
+        )
+        exporters = []
+        for shard in range(EVICT_SPEC.num_shards):
+            body = json.load(
+                open(run_dir / "exports" / f"shard{shard:03d}.epoch{evict_epoch:03d}.json")
+            )
+            if any(r["node"] == evicted_id for r in body["exports"]):
+                exporters.append(shard)
+        assert len(exporters) == 1
+
+        # ...and in the *next* epoch's barrier, after which every other
+        # shard has applied it (foreign_evictions_applied counts them).
+        barrier = json.load(
+            open(run_dir / "barriers" / f"epoch{evict_epoch + 1:03d}.json")
+        )
+        assert any(r["node"] == evicted_id for r in barrier["records"])
+        applied = sum(
+            summary["stats"].get("foreign_evictions_applied", 0)
+            for summary in outcome.per_shard
+        )
+        assert applied == EVICT_SPEC.num_shards - 1

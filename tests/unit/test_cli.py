@@ -217,3 +217,50 @@ class TestLive:
             == 0
         )
         assert "FAILED" not in capsys.readouterr().out
+
+
+class TestScale:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scale"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["scale", "run", "--run-dir", "/tmp/x"])
+        assert args.nodes == 64 and args.shards == 2 and args.workers == 2
+        assert args.epoch == 1.0 and not args.serial and not args.verify
+
+    def test_deviant_flag_requires_pair(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["scale", "run", "--run-dir", str(tmp_path), "--deviant", "silent-relay"]
+            )
+
+    def test_verify_reports_equivalence(self, tmp_path, capsys):
+        code = main(
+            [
+                "scale", "verify",
+                "--run-dir", str(tmp_path / "run"),
+                "--nodes", "24", "--shards", "2", "--seed", "3", "--horizon", "1.0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "verdict:    EQUIVALENT" in out
+        assert "merged fingerprint:" in out
+
+    def test_profile_writes_per_shard_dumps_and_merged_report(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        code = main(
+            [
+                "--profile", "scale", "run",
+                "--run-dir", str(run_dir),
+                "--nodes", "24", "--shards", "2", "--seed", "3",
+                "--horizon", "0.5", "--epoch", "0.5", "--serial",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "merged profile over 2 shards" in out
+        assert (run_dir / "profile" / "shard000.prof").exists()
+        assert (run_dir / "profile" / "shard001.prof").exists()
+        assert (run_dir / "profile" / "shard000.epoch000.prof").exists()

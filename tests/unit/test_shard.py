@@ -1,0 +1,195 @@
+"""Unit tests for the group-sharded simulator (repro.simnet.shard).
+
+Covers the partitioner (group snapshots, bundle planning, the
+bundle-local directory), the ScaleSpec manifest, the shard system's
+cross-shard hooks, and the cache-hygiene contract at shard-worker
+boundaries.
+"""
+
+import random
+
+import pytest
+
+from repro.core.config import RacConfig
+from repro.core.system import RacSystem
+from repro.crypto import clear_process_caches
+from repro.crypto.keys import _KEM_CACHE
+from repro.groups import (
+    BundleDirectory,
+    GroupSpec,
+    ShardPartitionError,
+    plan_bundles,
+)
+from repro.simnet.shard import (
+    ScaleSpec,
+    ZERO_FINGERPRINT,
+    build_shard_system,
+    canonical_blob,
+    chain_fingerprint,
+    epoch_step,
+    group_shuffle_rng,
+    sort_barrier_records,
+)
+
+
+def _specs(weights):
+    specs = []
+    span = (1 << 128) // len(weights)
+    for gid, weight in enumerate(weights, start=1):
+        lo = (gid - 1) * span
+        members = tuple(range(gid * 1000, gid * 1000 + weight))
+        specs.append(GroupSpec(gid=gid, lo=lo, hi=lo + span - 1, members=members))
+    return specs
+
+
+class TestPlanBundles:
+    def test_deterministic(self):
+        specs = _specs([5, 3, 8, 2, 6])
+        assert plan_bundles(specs, 2) == plan_bundles(specs, 2)
+
+    def test_covers_every_group_once(self):
+        specs = _specs([5, 3, 8, 2, 6, 4, 7])
+        bundles = plan_bundles(specs, 3)
+        seen = [g.gid for bundle in bundles for g in bundle]
+        assert sorted(seen) == [g.gid for g in specs]
+
+    def test_largest_first_balance(self):
+        # Greedy largest-first onto the lightest bundle keeps the
+        # heaviest bundle within 2x of the lightest for these weights.
+        specs = _specs([9, 8, 7, 2, 2, 2, 2])
+        bundles = plan_bundles(specs, 3)
+        weights = sorted(sum(len(g.members) for g in bundle) for bundle in bundles)
+        assert weights[-1] <= 2 * weights[0]
+
+    def test_too_many_shards_rejected(self):
+        with pytest.raises(ValueError):
+            plan_bundles(_specs([4, 4]), 3)
+
+    def test_groupspec_round_trip(self):
+        spec = _specs([3])[0]
+        assert GroupSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestBundleDirectory:
+    def test_lookup_inside_bundle(self):
+        specs = _specs([4, 4])
+        directory = BundleDirectory(3, specs[:1])
+        group = directory.group_for_id(specs[0].lo + 1)
+        assert group.gid == specs[0].gid
+
+    def test_lookup_outside_bundle_raises(self):
+        specs = _specs([4, 4])
+        directory = BundleDirectory(3, specs[:1])
+        with pytest.raises(ShardPartitionError):
+            directory.group_for_id(specs[1].lo + 1)
+
+    def test_invariants_are_bundle_local(self):
+        specs = _specs([4, 4, 4])
+        directory = BundleDirectory(3, specs[::2])  # gids 1 and 3
+        directory.check_invariants()  # holes between bundles are fine
+
+
+class TestScaleSpec:
+    def test_epoch_count_rounds_up(self):
+        assert ScaleSpec(nodes=8, num_shards=1, horizon=2.5, epoch=1.0).epoch_count == 3
+        assert ScaleSpec(nodes=8, num_shards=1, horizon=2.0, epoch=1.0).epoch_count == 2
+
+    def test_epoch_end_clamped_to_horizon(self):
+        spec = ScaleSpec(nodes=8, num_shards=1, horizon=2.5, epoch=1.0)
+        assert spec.epoch_end(2) == 2.5
+
+    def test_round_trip(self):
+        spec = ScaleSpec(nodes=24, num_shards=2, seed=11, deviants={3: "silent-relay"})
+        assert ScaleSpec.from_dict(spec.to_dict()) == spec
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScaleSpec(nodes=2, num_shards=1)
+        with pytest.raises(ValueError):
+            ScaleSpec(nodes=8, num_shards=0)
+
+
+class TestShuffleRng:
+    def test_per_group_streams_are_stable_and_distinct(self):
+        a1 = group_shuffle_rng(7, 1).random()
+        a2 = group_shuffle_rng(7, 1).random()
+        b = group_shuffle_rng(7, 2).random()
+        assert a1 == a2
+        assert a1 != b
+
+    def test_monolithic_default_hook_uses_system_rng(self):
+        system = RacSystem(RacConfig.small())
+        assert system._shuffle_rng(1) is system.rng
+        assert isinstance(system._shuffle_rng(99), random.Random)
+
+
+class TestBarrierCanonicalisation:
+    def test_sort_is_total_and_deterministic(self):
+        records = [
+            {"at": 1.0, "gid": 2, "node": 5, "kind": "eviction"},
+            {"at": 0.5, "gid": 3, "node": 9, "kind": "eviction"},
+            {"at": 1.0, "gid": 1, "node": 7, "kind": "eviction"},
+            {"at": 1.0, "gid": 2, "node": 1, "kind": "eviction"},
+        ]
+        ordered = sort_barrier_records(records)
+        key = [(r["at"], r["gid"], r["node"]) for r in ordered]
+        assert key == sorted(key)
+        assert sort_barrier_records(list(reversed(records))) == ordered
+
+    def test_canonical_blob_is_key_order_independent(self):
+        assert canonical_blob({"b": 1, "a": 2}) == canonical_blob({"a": 2, "b": 1})
+
+    def test_chain_fingerprint_depends_on_history(self):
+        one = chain_fingerprint(ZERO_FINGERPRINT, "alpha")
+        two = chain_fingerprint(one, "beta")
+        direct = chain_fingerprint(ZERO_FINGERPRINT, "beta")
+        assert two != direct
+        assert len(two) == 64
+
+
+class TestShardSystem:
+    def test_shards_partition_the_population(self):
+        spec = ScaleSpec(nodes=24, num_shards=2, seed=3, horizon=1.0)
+        systems = [build_shard_system(spec, k) for k in range(2)]
+        ids = [sorted(s.nodes) for s in systems]
+        assert not set(ids[0]) & set(ids[1])
+        assert len(ids[0]) + len(ids[1]) == 24
+
+    def test_notice_group_count_is_global(self):
+        spec = ScaleSpec(nodes=24, num_shards=2, seed=3, horizon=1.0)
+        system = build_shard_system(spec, 0)
+        assert system._notice_group_count() >= len(system.directory.groups)
+
+    def test_epoch_step_emits_chained_fingerprints(self):
+        spec = ScaleSpec(nodes=24, num_shards=2, seed=3, horizon=1.0, epoch=0.5)
+        system = build_shard_system(spec, 0)
+        _, fp1 = epoch_step(system, spec, 0, [], ZERO_FINGERPRINT)
+        _, fp2 = epoch_step(system, spec, 1, [], fp1)
+        assert fp1 != ZERO_FINGERPRINT
+        assert fp2 != fp1
+
+
+class TestShardCacheHygiene:
+    """Satellite: a worker picking up a shard must start cache-cold."""
+
+    def test_run_shard_epoch_clears_stale_process_caches(self, tmp_path):
+        from repro.orchestrator.sharded import run_sharded
+
+        poison_key = (b"stale-shard-secret", 0xDEAD)
+        _KEM_CACHE[poison_key] = b"poison"
+        try:
+            spec = ScaleSpec(nodes=8, num_shards=1, seed=5, horizon=0.5, epoch=0.5)
+            run_sharded(spec, str(tmp_path / "run"), serial=True)
+            # run_shard_epoch resets process caches at shard pickup even
+            # on the inline path, so the pre-existing entry cannot have
+            # survived into (or influenced) the shard's run.
+            assert poison_key not in _KEM_CACHE
+        finally:
+            clear_process_caches()
+
+    def test_worker_reset_hook_covers_kem_cache(self):
+        from repro.orchestrator.workloads import reset_worker_caches
+
+        _KEM_CACHE[(b"leftover", 1)] = b"x"
+        reset_worker_caches()
+        assert (b"leftover", 1) not in _KEM_CACHE

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.simnet.stats import Counter, StatsRegistry, ThroughputMeter, summarize
+from repro.simnet.stats import (
+    Counter,
+    StatsRegistry,
+    ThroughputMeter,
+    aggregate_stats_reports,
+    summarize,
+)
 from repro.simnet.trace import TraceEvent, Tracer
 
 
@@ -104,3 +110,43 @@ class TestTracer:
     def test_event_str_system_scope(self):
         event = TraceEvent(0.0, "boot", None, {})
         assert "system" in str(event)
+
+
+class TestAggregateStatsReports:
+    def test_engine_counters_sum_across_shards(self):
+        # One engine per shard: the deployment-wide report must be the
+        # sum of the shard engines' counters, not any single engine's.
+        shard_a = {
+            "sim_events_processed": 1000,
+            "sim_events_cancelled": 10,
+            "sim_queue_compactions": 1,
+            "deliveries": 4,
+        }
+        shard_b = {
+            "sim_events_processed": 2500,
+            "sim_events_cancelled": 30,
+            "sim_queue_compactions": 2,
+            "deliveries": 7,
+        }
+        merged = aggregate_stats_reports([shard_a, shard_b])
+        assert merged["sim_events_processed"] == 3500
+        assert merged["sim_events_cancelled"] == 40
+        assert merged["sim_queue_compactions"] == 3
+        assert merged["deliveries"] == 11
+
+    def test_missing_keys_count_as_zero(self):
+        # Shards legitimately differ (only one hosts the deviant's
+        # group), so a key absent from some shards still aggregates.
+        merged = aggregate_stats_reports([{"evictions": 1}, {}, {"noise_sent": 5}])
+        assert merged == {"evictions": 1, "noise_sent": 5}
+
+    def test_empty_input(self):
+        assert aggregate_stats_reports([]) == {}
+
+    def test_meter_samples_property_round_trips(self):
+        # ThroughputMeter stores samples in typed arrays; the samples
+        # view must still yield (time, bytes) tuples for the renderers.
+        meter = ThroughputMeter()
+        meter.record(1.5, 100)
+        meter.record(2.0, 200)
+        assert meter.samples == [(1.5, 100), (2.0, 200)]
