@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-baseline ci-bench-smoke sweep-smoke live-smoke chaos-smoke campaign-smoke scale-smoke report examples ci clean
+.PHONY: install test bench bench-baseline ci-bench-smoke sweep-smoke live-smoke chaos-smoke campaign-smoke scale-smoke pubsub-smoke report examples ci clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -59,6 +59,9 @@ scale-smoke:  # sharded N=64 on 2 workers == monolithic; pool and serial fingerp
 		print('pool/serial shard fingerprints identical:', ' '.join(f[:16] for f in pool))"
 	rm -rf results/scale_smoke
 
+pubsub-smoke:  # live pub/sub: dynamic join -> split, leaves -> dissolve, 0 evictions, delivery parity
+	PYTHONPATH=src $(PYTHON) -m repro pubsub bench --nodes 6 --seed 0 --check
+
 report:
 	$(PYTHON) -m repro report --output results/full_report.txt
 
@@ -70,6 +73,7 @@ ci:  # what .github/workflows/ci.yml runs
 	$(MAKE) chaos-smoke
 	$(MAKE) campaign-smoke
 	$(MAKE) scale-smoke
+	$(MAKE) pubsub-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_smoke.py -q
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_scale.py -q
 

@@ -1,89 +1,82 @@
 #!/usr/bin/env python
-"""Anonymous publish-subscribe over RAC.
+"""Anonymous publish-subscribe over RAC, with live group membership.
 
 The paper's own application sketch (Section IV-C): *"in an anonymous
 publish-subscribe system, nodes would subscribe to a given topic using
-their public pseudonym key"*. This example builds that thin layer:
+their public pseudonym key"*. The full service now lives in
+:mod:`repro.pubsub`; this example drives its deterministic sim twin
+(:class:`~repro.pubsub.SimPubSub`) through the part the sketch leaves
+implicit — what happens to subscriptions when the *groups themselves*
+change underneath them:
 
 * a topic directory maps topic names to subscriber pseudonym keys —
   crucially, pseudonym keys are NOT linkable to node identities;
 * publishing sends one onion per subscriber key; nobody (including the
   publisher) learns which node is behind a subscription, and nobody
-  learns who published.
+  learns who published;
+* subscriptions store NO group id. The subscriber's group is resolved
+  at *publish* time against the live group directory, so a group split
+  or dissolve between subscribe and publish cannot strand a
+  subscription on a stale group id. (An earlier version of this very
+  example cached ``(key, gid)`` at subscribe time — the regression test
+  in ``tests/unit/test_pubsub.py`` pins the bug it had.)
 """
 
-from collections import defaultdict
-
-from repro import RacConfig, RacSystem
-
-
-class AnonymousPubSub:
-    """Topic fan-out over a RAC system.
-
-    The directory stores (pseudonym key, group id) pairs — exactly the
-    two facts a sender needs and no more.
-    """
-
-    def __init__(self, system: RacSystem) -> None:
-        self.system = system
-        self._subscriptions = defaultdict(list)  # topic -> [(key, gid)]
-
-    def subscribe(self, node_id: int, topic: str) -> None:
-        """Register the node's pseudonym key under the topic."""
-        key = self.system.pseudonym_keys[node_id]
-        gid = self.system.directory.group_of_node(node_id).gid
-        self._subscriptions[topic].append((key, gid))
-
-    def publish(self, publisher: int, topic: str, payload: bytes) -> int:
-        """Send one anonymous onion per subscriber; returns the count."""
-        sent = 0
-        node = self.system.nodes[publisher]
-        for key, gid in self._subscriptions[topic]:
-            if node.queue_message(key, gid, payload):
-                sent += 1
-        return sent
-
-    def subscriber_count(self, topic: str) -> int:
-        return len(self._subscriptions[topic])
+from repro import RacConfig
+from repro.pubsub import SimPubSub, decode_publish
 
 
 def main() -> None:
     config = RacConfig(
         num_relays=2,
         num_rings=3,
-        group_min=2,
-        group_max=10**9,
+        group_min=3,
+        group_max=6,
         message_size=2048,
         send_interval=0.05,
-        relay_timeout=1.5,
-        predecessor_timeout=0.5,
-        rate_window=1.0,
+        relay_timeout=60.0,  # honest churn ahead: keep timers out of the way
+        predecessor_timeout=60.0,
+        rate_window=60.0,
         blacklist_period=2.0,
         puzzle_bits=4,
     )
-    system = RacSystem(config, seed=99)
-    nodes = system.bootstrap(14)
-    system.run(1.5)
+    service = SimPubSub(config, seed=99)
+    nodes = service.bootstrap(8)
+    service.run(1.5)
 
-    pubsub = AnonymousPubSub(system)
-    whistleblowers, readers = nodes[0], nodes[5:9]
+    whistleblower, readers = nodes[0], nodes[5:8]
     for reader in readers:
-        pubsub.subscribe(reader, "leaks")
-    print(f"'leaks' topic has {pubsub.subscriber_count('leaks')} anonymous subscribers")
+        service.subscribe(reader, "leaks")
+    print(f"'leaks' topic has {service.core.topics.subscriber_count('leaks')} "
+          "anonymous subscribers")
 
+    # The group layout the subscribers were registered under...
+    before = dict(service.system.directory.sizes())
+
+    # ...does not survive: five nodes join mid-run via the Section IV-C
+    # hash puzzle, pushing groups past group_max and splitting them.
+    for _ in range(5):
+        service.join()
+    after = dict(service.system.directory.sizes())
+    print(f"group sizes {before} -> {after} (joins split the groups)")
+
+    # Publish AFTER the reconfiguration: the topic directory resolves
+    # each pseudonym key's current group now, not at subscribe time.
     story = b"document #42: the audit was never filed"
-    fanout = pubsub.publish(whistleblowers, "leaks", story)
-    print(f"publisher fanned out {fanout} onions (one per subscriber key)")
+    service.publish(whistleblower, "leaks", story)
+    service.run(12.0)
 
-    system.run(8.0)
-
+    parity = service.parity()
+    print(f"delivery parity: {parity.delivered}/{parity.expected} "
+          f"(missing: {len(parity.missing)})")
     for reader in readers:
-        got = system.delivered_messages(reader)
-        print(f"subscriber {reader % 10**6}... received: {got}")
+        got = [decode_publish(p) for p in service.system.delivered_messages(reader)]
+        print(f"subscriber {reader % 10**6}... received: "
+              + ", ".join(f"[{t}#{s}] {body!r}" for t, s, body in got))
     others = [n for n in nodes if n not in readers]
-    leaked = [n for n in others if system.delivered_messages(n)]
+    leaked = [n for n in others if service.system.delivered_messages(n)]
     print(f"non-subscribers that received anything: {leaked} (must be empty)")
-    print(f"evictions: {len(system.evicted)} (must be 0 - everyone honest)")
+    print(f"evictions: {len(service.system.evicted)} (must be 0 - everyone honest)")
 
 
 if __name__ == "__main__":

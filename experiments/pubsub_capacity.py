@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Pub/sub capacity-planning artefact: groups × members → msg/s.
+
+Evaluates the analytic capacity model of :mod:`repro.pubsub.capacity`
+on the paper-scale configuration (L=5 relays, R=7 rings, 10 kB
+messages, 1 Gb/s uplinks) over a grid of anonymity degrees, fan-outs
+and target publish rates, and writes the committed table to
+``results/pubsub_capacity.txt``.
+
+The model is pure arithmetic (no simulation): a group of g members
+delivers C/((L+1)·R·M·8) anonymous msg/s *independent of g* — members
+add uplinks and cover traffic in lockstep — so anonymity degree is paid
+in members and throughput in groups. ``repro pubsub capacity`` prints
+the same table; the ``pubsub_point`` sweep workload measures the sim
+twin against it.
+
+Run ``python experiments/pubsub_capacity.py`` to regenerate.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.config import RacConfig  # noqa: E402
+from repro.pubsub.capacity import capacity_table, render_capacity_table  # noqa: E402
+
+RESULT = REPO_ROOT / "results" / "pubsub_capacity.txt"
+
+
+def main() -> int:
+    config = RacConfig()
+    table = render_capacity_table(capacity_table(config), config)
+    RESULT.write_text(table + "\n", encoding="utf-8")
+    print(table)
+    print(f"\nwrote {RESULT.relative_to(REPO_ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,10 @@ observes a run — on either substrate — and asserts:
 * **Safety — blacklists stay clean.** At run end, no honest live node
   may appear in any honest node's blacklist (local suspicion that never
   reached a verdict still poisons relay selection).
+* **Safety — the group directory stays a partition.** Every probe of
+  ``GroupDirectory.check_invariants()`` under churn (splits, dissolves,
+  evictions, dynamic joins) must hold; a gap or overlap in the ID
+  intervals silently misroutes every later join and channel build.
 * **Liveness — delivery resumes.** After each fault window heals, at
   least one anonymous delivery must land within ``heal_bound`` seconds.
   A protocol that survives a partition by never delivering again has
@@ -47,7 +51,7 @@ __all__ = ["Violation", "InvariantReport", "InvariantChecker"]
 class Violation:
     """One invariant breach, anchored to the offending event."""
 
-    invariant: str  # "safety-eviction" | "safety-blacklist" | "liveness" | "missed-detection"
+    invariant: str  # "safety-eviction" | "safety-blacklist" | "safety-directory" | "liveness" | "missed-detection"
     at: float
     event: str
 
@@ -129,6 +133,8 @@ class InvariantChecker:
         self.downtimes: "Dict[int, List[List[Optional[float]]]]" = {}
         self.windows: "List[Tuple[str, float, float]]" = []
         self.run_end: "Optional[float]" = None
+        #: (at, error-or-None) per directory-invariant probe.
+        self.directory_checks: "List[Tuple[float, Optional[str]]]" = []
 
     # -- event intake ----------------------------------------------------------
     def note_fault_window(self, kind: str, start: float, end: float) -> None:
@@ -161,6 +167,25 @@ class InvariantChecker:
     def record_eviction(self, at: float, reporter: int, accused: int, kind: str) -> None:
         self.evictions.append((at, reporter, accused, kind))
 
+    def record_directory_check(self, at: float, error: "Optional[str]" = None) -> None:
+        """Log one directory-invariant probe (``error=None`` means it held)."""
+        self.directory_checks.append((at, error))
+
+    def check_directory(self, at: float, directory) -> None:
+        """Run ``directory.check_invariants()`` and record the outcome.
+
+        Groups partition the ID space only if every split/dissolve left
+        the interval map consistent — under dynamic churn that is the
+        invariant most likely to rot silently, so the chaos layer probes
+        it after every membership reconfiguration.
+        """
+        try:
+            directory.check_invariants()
+        except AssertionError as exc:
+            self.record_directory_check(at, str(exc))
+        else:
+            self.record_directory_check(at)
+
     def finish(self, run_end: float) -> None:
         """Close the observation window; liveness bounds that do not
         fit before ``run_end`` are skipped, not failed."""
@@ -184,7 +209,24 @@ class InvariantChecker:
         """Judge everything recorded so far. ``blacklists`` maps each
         surviving node to its final local blacklist members."""
         violations: "List[Violation]" = []
-        checks = {"evictions": 0, "blacklist_entries": 0, "heal_windows": 0, "detections": 0}
+        checks = {
+            "evictions": 0,
+            "blacklist_entries": 0,
+            "heal_windows": 0,
+            "detections": 0,
+            "directory_checks": 0,
+        }
+
+        for at, error in sorted(self.directory_checks):
+            checks["directory_checks"] += 1
+            if error is not None:
+                violations.append(
+                    Violation(
+                        "safety-directory",
+                        at,
+                        f"group directory invariants broken: {error}",
+                    )
+                )
 
         for at, reporter, accused, kind in sorted(self.evictions):
             checks["evictions"] += 1

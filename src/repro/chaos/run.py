@@ -203,6 +203,7 @@ def run_chaos_sim(
         k += 1
 
     system.run(duration)
+    checker.check_directory(system.now, system.directory)
     checker.finish(system.now)
     for nid in node_ids:
         node = system.nodes[nid]
@@ -288,6 +289,11 @@ async def run_chaos_live(
         pump_task.cancel()
         await asyncio.gather(pump_task, return_exceptions=True)
         await supervisor.stop()
+    if cluster.group_directory is not None:
+        checker.check_directory(supervisor.proxy.now, cluster.group_directory)
+    for node in cluster.nodes:
+        if not node.killed and node.env is not None:
+            checker.check_directory(supervisor.proxy.now, node.env.directory)
     checker.finish(supervisor.proxy.now)
     survivors = [
         node.rac for node in cluster.nodes if node.rac is not None and not node.killed

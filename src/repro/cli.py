@@ -14,6 +14,7 @@
     python -m repro chaos run --substrate both  # fault plan + invariant check
     python -m repro campaign run --spec smoke --run-dir /tmp/c  # adversarial matrix
     python -m repro scale verify --nodes 64 --shards 2  # sharded == monolithic
+    python -m repro pubsub bench --check  # live pub/sub with dynamic membership
 
 Every command prints the same tables the benches write to
 ``results/``.
@@ -316,6 +317,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _scale_spec_flags(sverify)
 
+    pubsub = sub.add_parser(
+        "pubsub",
+        help="anonymous pub/sub service over the live runtime: topics, "
+        "puzzle-gated joins, live group splits/dissolves",
+    )
+    pubsub_sub = pubsub.add_subparsers(dest="pubsub_command", required=True)
+
+    pserve = pubsub_sub.add_parser(
+        "serve", help="run the service on localhost and accept client frames"
+    )
+    pserve.add_argument("--nodes", type=int, default=6, help="bootstrap size (default 6)")
+    pserve.add_argument("--seed", type=int, default=0, help="population seed (default 0)")
+    pserve.add_argument(
+        "--api-port", type=int, default=0, help="client API port (default: ephemeral)"
+    )
+    pserve.add_argument(
+        "--port-base",
+        type=int,
+        default=None,
+        metavar="P",
+        help="bind node i to port P+i (default: ephemeral ports)",
+    )
+    pserve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="wall seconds to serve (default: until Ctrl-C)",
+    )
+
+    pbench = pubsub_sub.add_parser(
+        "bench", help="scripted join/subscribe/publish/leave scenario + report"
+    )
+    pbench.add_argument("--nodes", type=int, default=6, help="bootstrap size (default 6)")
+    pbench.add_argument("--seed", type=int, default=0, help="population seed (default 0)")
+    pbench.add_argument(
+        "--settle", type=float, default=3.0, help="seconds between scenario phases (default 3)"
+    )
+    pbench.add_argument(
+        "--port-base",
+        type=int,
+        default=None,
+        metavar="P",
+        help="bind node i to port P+i (default: ephemeral ports)",
+    )
+    pbench.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero unless >=1 live split, >=1 dissolve, 0 evictions "
+        "and delivery parity hold (CI smoke contract)",
+    )
+
+    pcap = pubsub_sub.add_parser(
+        "capacity", help="groups x members -> msg/s capacity planning table"
+    )
+    pcap.add_argument("--out", default=None, help="also write the table to this file")
 
     return parser
 
@@ -417,6 +473,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _dispatch_campaign(args)
     elif args.command == "scale":
         return _dispatch_scale(args)
+    elif args.command == "pubsub":
+        return _dispatch_pubsub(args)
     elif args.command == "measure":
         from .experiments.empirical import measure_rac_throughput
 
@@ -455,6 +513,59 @@ def _dispatch_live(args: argparse.Namespace) -> int:
         if args.check and (report.deliveries < 1 or report.evicted or report.errors):
             print("live smoke FAILED: expected >=1 delivery, 0 evictions, 0 errors")
             return 1
+    return 0
+
+
+def _dispatch_pubsub(args: argparse.Namespace) -> int:
+    if args.pubsub_command == "bench":
+        from .pubsub.bench import check_report, run_bench_blocking
+
+        report = run_bench_blocking(
+            args.nodes, seed=args.seed, settle=args.settle, port_base=args.port_base
+        )
+        print(report.render())
+        if args.check:
+            ok, failures = check_report(report)
+            if not ok:
+                print("pubsub smoke FAILED:")
+                for reason in failures:
+                    print(f"  - {reason}")
+                return 1
+            print("pubsub smoke OK")
+    elif args.pubsub_command == "serve":
+        import asyncio
+
+        from .pubsub.service import PubSubService, pubsub_config
+
+        async def _serve() -> None:
+            service = PubSubService(
+                args.nodes, pubsub_config(), args.seed, port_base=args.port_base
+            )
+            await service.start()
+            api_port = await service.serve(port=args.api_port)
+            print(f"pubsub service: {args.nodes} nodes, client API on 127.0.0.1:{api_port}")
+            try:
+                if args.duration is not None:
+                    await asyncio.sleep(args.duration)
+                else:
+                    await asyncio.Event().wait()
+            except (KeyboardInterrupt, asyncio.CancelledError):
+                pass
+            report = await service.stop(duration=args.duration or 0.0)
+            print(report.render())
+
+        try:
+            asyncio.run(_serve())
+        except KeyboardInterrupt:
+            pass
+    elif args.pubsub_command == "capacity":
+        from .pubsub.capacity import capacity_table, render_capacity_table
+
+        table = render_capacity_table(capacity_table())
+        print(table)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(table + "\n")
     return 0
 
 

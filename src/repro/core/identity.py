@@ -23,7 +23,12 @@ from ..crypto.keys import KeyPair
 from ..groups.assignment import PuzzleSolution, solve_puzzle
 from .config import RacConfig
 
-__all__ = ["NodeMaterial", "generate_node_material", "build_population"]
+__all__ = [
+    "NodeMaterial",
+    "generate_node_material",
+    "build_population",
+    "PopulationFactory",
+]
 
 
 @dataclass(frozen=True)
@@ -61,11 +66,36 @@ def generate_node_material(rng: random.Random, key_seed: int, config: RacConfig)
     )
 
 
+class PopulationFactory:
+    """A resumable stream of node identities off one system RNG.
+
+    ``RacSystem`` numbers nodes with a monotone ``_key_seed`` and draws
+    each identity from a single shared RNG, so "the next node to join"
+    is a well-defined object even after bootstrap. This factory holds
+    that cursor: ``take(count)`` yields a bootstrap population and
+    later ``next_material()`` calls yield exactly the identities a
+    ``RacSystem.join()`` sequence would mint — which is what lets a
+    live cluster admit dynamic joiners that match its sim twin.
+    """
+
+    def __init__(self, config: RacConfig, seed: int = 0) -> None:
+        self.config = config
+        self._rng = random.Random(seed)
+        self._next_index = 1
+
+    def next_material(self) -> NodeMaterial:
+        material = generate_node_material(self._rng, self._next_index, self.config)
+        self._next_index += 1
+        return material
+
+    def take(self, count: int) -> "List[NodeMaterial]":
+        return [self.next_material() for _ in range(count)]
+
+
 def build_population(config: RacConfig, count: int, seed: int = 0) -> "List[NodeMaterial]":
     """The first ``count`` nodes a ``RacSystem(config, seed)`` would create.
 
     Matches :meth:`repro.core.system.RacSystem.bootstrap` draw for draw,
     so a live cluster seeded the same way hosts the same population.
     """
-    rng = random.Random(seed)
-    return [generate_node_material(rng, index + 1, config) for index in range(count)]
+    return PopulationFactory(config, seed).take(count)

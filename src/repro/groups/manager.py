@@ -85,6 +85,16 @@ class GroupDirectory:
         first = Group(next(self._gid_counter), 0, _ID_SPACE, num_rings)
         self.groups: Dict[int, Group] = {first.gid: first}
         self._node_group: Dict[int, int] = {}
+        #: Monotone mutation counter: bumped once per emitted
+        #: :class:`GroupEvent`. Publish-time caches (the pub/sub topic
+        #: directory) key their resolved group lookups on it, so a
+        #: split or dissolve anywhere invalidates them without a
+        #: callback web.
+        self.version = 0
+        #: Running tally of emitted events by kind — the cheap way for
+        #: a long-running service to answer "how many splits/dissolves
+        #: has this deployment been through".
+        self.event_counts: Dict[str, int] = {}
 
     # -- lookups -----------------------------------------------------------
     def group_for_id(self, id_value: int) -> Group:
@@ -118,7 +128,7 @@ class GroupDirectory:
         events = [GroupEvent("join", group.gid, node_id=node_id)]
         if self.smax is not None and len(group) > self.smax:
             events.extend(self._split(group))
-        return events
+        return self._note(events)
 
     def remove_node(self, node_id: int) -> "List[GroupEvent]":
         """Remove a node (eviction or leave); dissolve if too small."""
@@ -130,6 +140,13 @@ class GroupDirectory:
         events = [GroupEvent("leave", gid, node_id=node_id)]
         if len(self.groups) > 1 and len(group) < self.smin:
             events.extend(self._dissolve(group))
+        return self._note(events)
+
+    def _note(self, events: "List[GroupEvent]") -> "List[GroupEvent]":
+        """Account a batch of emitted events (version + kind tallies)."""
+        self.version += len(events)
+        for event in events:
+            self.event_counts[event.kind] = self.event_counts.get(event.kind, 0) + 1
         return events
 
     # -- reconfiguration ---------------------------------------------------------

@@ -27,9 +27,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..core.config import RacConfig, validate_timers
-from ..core.identity import NodeMaterial, build_population
+from ..core.identity import NodeMaterial, PopulationFactory
 from ..core.messages import DomainId
-from .directory import BootstrapDirectory
+from ..groups.assignment import verify_puzzle
+from ..groups.manager import GroupDirectory
+from .directory import BootstrapDirectory, RosterEntry
 from .node import LiveNode
 
 __all__ = ["LiveCluster", "LiveReport", "live_config", "run_demo", "run_subprocess_demo"]
@@ -141,7 +143,11 @@ class LiveCluster:
         self.seed = seed
         self.host = host
         self.port_base = port_base
-        self.materials: "List[NodeMaterial]" = build_population(self.config, count, seed)
+        #: Identity stream shared with the sim: ``take(count)`` is the
+        #: bootstrap population, later draws are the dynamic joiners a
+        #: ``RacSystem.join()`` sequence would mint.
+        self._factory = PopulationFactory(self.config, seed)
+        self.materials: "List[NodeMaterial]" = self._factory.take(count)
         self.directory = BootstrapDirectory(host=host)
         self.nodes: "List[LiveNode]" = []
         #: Dead incarnations of restarted nodes; their deliveries and
@@ -149,6 +155,23 @@ class LiveCluster:
         self._retired: "List[LiveNode]" = []
         self._incarnations: "Dict[int, int]" = {}
         self.evicted: "List[int]" = []
+        #: Graceful departures (node ids), distinct from evictions.
+        self.departed: "List[int]" = []
+        #: Canonical post-bootstrap membership history: ordered
+        #: ("join", RosterEntry) / ("remove", node_id) records. A late
+        #: joiner's replica replays it over the bootstrap roster —
+        #: directory state is insertion-order dependent (splits cut at
+        #: the median of whoever is present), so order, not just the
+        #: final member set, must be shared.
+        self._membership_log: "List[tuple]" = []
+        self._initial_roster: "Optional[List[RosterEntry]]" = None
+        #: The cluster's own (coordinator-side) directory replica. The
+        #: service layer resolves publish fan-out against it — it
+        #: outlives any individual node — and its ``event_counts``
+        #: deltas since bootstrap are the deployment-level
+        #: split/dissolve tally.
+        self.group_directory: "Optional[GroupDirectory]" = None
+        self._baseline_counts: "Dict[str, int]" = {}
         self._on_delivered = on_delivered
         self._eviction_observer = eviction_observer
         self._started = False
@@ -183,6 +206,13 @@ class LiveCluster:
             self.nodes.append(self.build_node(index))
         await asyncio.gather(*(node.start() for node in self.nodes))
         roster = self.directory.roster()
+        self._initial_roster = list(roster)
+        self.group_directory = GroupDirectory(
+            self.config.num_rings, smin=self.config.group_min, smax=self.config.group_max
+        )
+        for entry in sorted(roster, key=lambda e: e.node_id):
+            self.group_directory.add_node(entry.node_id, entry.id_key)
+        self._baseline_counts = dict(self.group_directory.event_counts)
         for node in self.nodes:
             await node.activate(len(self.nodes), roster=roster)
         self._started = True
@@ -218,6 +248,97 @@ class LiveCluster:
         node = self.nodes[index]
         node.kill()
         return node.node_id
+
+    # -- dynamic membership (tasks mode) ---------------------------------------
+    async def join_node(self, material: "Optional[NodeMaterial]" = None) -> LiveNode:
+        """Admit one node after start: the paper's §IV-C join, live.
+
+        The joiner presents its hash-puzzle solution; every running
+        replica re-verifies it (forged IDs are rejected before any
+        state changes), then the joiner is activated with the canonical
+        membership log — so its directory replica converges with the
+        incumbents' — and its JOIN is applied everywhere, splitting the
+        covering group if it outgrows ``smax``. Returns the new node.
+        """
+        if not self._started or self._initial_roster is None:
+            raise RuntimeError("start() the cluster before joining nodes")
+        if material is None:
+            material = self._factory.next_material()
+        key_id = material.id_keypair.public.key_id
+        for node in self.live_nodes():
+            if not verify_puzzle(
+                key_id, material.puzzle.vector, material.node_id, self.config.puzzle_bits
+            ):
+                raise ValueError(
+                    f"join rejected: node {material.node_id:#x} failed puzzle "
+                    f"verification at replica {node.node_id:#x}"
+                )
+            node.env.stats.add("live_join_verifications")
+        index = len(self.materials)
+        self.materials.append(material)
+        joiner = self.build_node(index)
+        await joiner.start()
+        entry = joiner.roster_entry()
+        # Incumbents admit the joiner *before* it starts originating,
+        # so none of its first frames arrive from an unknown member;
+        # frames racing toward the joiner pre-activation are dropped by
+        # its own guard (cover traffic, tolerated by design).
+        for node in self.live_nodes():
+            node.env.apply_join(entry)
+        assert self.group_directory is not None
+        self.group_directory.add_node(entry.node_id, entry.id_key)
+        self._membership_log.append(("join", entry))
+        # The joiner replays history *including its own join*, so it
+        # ends up inside its own replica exactly as the incumbents see
+        # it — same insertion order, same splits, same rings.
+        await joiner.activate(
+            0,
+            roster=self._initial_roster,
+            membership_log=list(self._membership_log),
+        )
+        self.nodes.append(joiner)
+        self._check_directories()
+        return joiner
+
+    async def leave_node(self, index: int) -> int:
+        """Gracefully depart one node: shutdown, then a LEAVE applied to
+        every replica (dissolving its group if it shrinks below
+        ``smin``). Returns the departed node id."""
+        node = self.nodes[index]
+        node_id = node.node_id
+        if not node.killed:
+            await node.shutdown()
+            node.killed = True  # cluster shutdown must not re-stop it
+        self.departed.append(node_id)
+        for other in self.live_nodes():
+            other.env.apply_leave(node_id)
+        if self.group_directory is not None:
+            self.group_directory.remove_node(node_id)
+        self._membership_log.append(("remove", node_id))
+        self._check_directories()
+        return node_id
+
+    def reconfigurations(self) -> "Dict[str, int]":
+        """Post-bootstrap directory events by kind (deployment-level:
+        one split is one split, however many replicas applied it)."""
+        if self.group_directory is None:
+            return {}
+        return {
+            kind: count - self._baseline_counts.get(kind, 0)
+            for kind, count in self.group_directory.event_counts.items()
+            if count - self._baseline_counts.get(kind, 0) > 0
+        }
+
+    def live_nodes(self) -> "List[LiveNode]":
+        return [n for n in self.nodes if not n.killed and n.env is not None]
+
+    def _check_directories(self) -> None:
+        """Assert every replica's directory is still a partition — the
+        §IV-C invariant most at risk under dynamic churn."""
+        if self.group_directory is not None:
+            self.group_directory.check_invariants()
+        for node in self.live_nodes():
+            node.env.directory.check_invariants()
 
     def adopt_replacement(self, index: int, node: LiveNode) -> None:
         """Swap a restarted node into slot ``index``. The dead
@@ -257,6 +378,9 @@ class LiveCluster:
         if self._eviction_observer is not None:
             self._eviction_observer(reporter, accused, domain, kind)
         self.evicted.append(accused)
+        self._membership_log.append(("remove", accused))
+        if self.group_directory is not None and accused in self.group_directory.node_ids:
+            self.group_directory.remove_node(accused)
         for node in self.nodes:
             if node.env is not None:
                 node.env.apply_eviction(accused)

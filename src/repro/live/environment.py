@@ -182,6 +182,7 @@ class LiveEnvironment:
         stats: "Optional[StatsRegistry]" = None,
         on_delivered: "Optional[Callable[[int, bytes], None]]" = None,
         on_eviction: "Optional[Callable[[int, int, DomainId, str], None]]" = None,
+        membership_log: "Optional[List[tuple]]" = None,
     ) -> None:
         self.node_id = node_id
         self.config = config
@@ -190,18 +191,6 @@ class LiveEnvironment:
         self.meter = ThroughputMeter()
         self._on_delivered = on_delivered
         self._on_eviction = on_eviction
-
-        # Local membership replica: every node applies the roster in
-        # ascending node-id order, so all replicas agree on the rings.
-        self.directory = GroupDirectory(
-            config.num_rings, smin=config.group_min, smax=config.group_max
-        )
-        self.channels = ChannelDirectory(self.directory)
-        self.peers: "Dict[int, RosterEntry]" = {}
-        for entry in sorted(roster, key=lambda e: e.node_id):
-            self.directory.add_node(entry.node_id, entry.id_key)
-            self.peers[entry.node_id] = entry
-
         self._links: "Dict[int, PeerLink]" = {}
         self._timers: "Set[asyncio.TimerHandle]" = set()
         self._loop: "Optional[asyncio.AbstractEventLoop]" = None
@@ -214,6 +203,40 @@ class LiveEnvironment:
         #: reaching the link. Sender-side shaping covers both directions
         #: of a pair, because every sender holds the shim.
         self.fault_shim = None
+
+        # Local membership replica: every node applies the roster in
+        # ascending node-id order, so all replicas agree on the rings.
+        # Directory state is insertion-order dependent (splits cut at
+        # the median of whoever is present), so post-bootstrap changes
+        # cannot be folded into the sorted roster: they arrive as an
+        # ordered ``membership_log`` of ("join", RosterEntry) /
+        # ("remove", node_id) records, replayed verbatim. A replica
+        # that replays the same log reaches the same groups, rings and
+        # channels as the replicas that lived through the events.
+        self.directory = GroupDirectory(
+            config.num_rings, smin=config.group_min, smax=config.group_max
+        )
+        self.channels = ChannelDirectory(self.directory)
+        self.peers: "Dict[int, RosterEntry]" = {}
+        #: node id → env-clock time its join settled here. Bootstrap
+        #: and replayed members are rated as having joined at the epoch
+        #: (env clocks are rebased per replica, so an absolute join time
+        #: cannot travel in the log; a late joiner therefore sees the
+        #: incumbents as quarantine-cleared, which they are).
+        self._joined_at: "Dict[int, float]" = {}
+        for entry in sorted(roster, key=lambda e: e.node_id):
+            self.directory.add_node(entry.node_id, entry.id_key)
+            self.peers[entry.node_id] = entry
+            self._joined_at[entry.node_id] = 0.0
+        for record in membership_log or ():
+            kind, value = record
+            if kind == "join":
+                self.apply_join(value)
+                self._joined_at[value.node_id] = 0.0
+            elif kind == "remove":
+                self.apply_leave(value)
+            else:
+                raise ValueError(f"unknown membership record kind {kind!r}")
 
     # -- clock ----------------------------------------------------------------
     def start_clock(self) -> None:
@@ -285,11 +308,14 @@ class LiveEnvironment:
         return self.config.derived_send_interval(len(group))
 
     def usable_as_relay(self, node_id: int) -> bool:
-        """The paper's 2T quarantine. Every roster node joined at the
-        epoch, so the whole cohort clears quarantine together."""
-        if node_id not in self.peers:
+        """The paper's 2T quarantine, per node: a member relays only
+        once it has been in the view for ``2 * join_settle_time``.
+        Bootstrap members share the epoch; dynamic joiners serve out
+        their own quarantine from their join instant."""
+        joined_at = self._joined_at.get(node_id)
+        if joined_at is None:
             return False
-        return self.now >= 2 * self.config.join_settle_time
+        return self.now - joined_at >= 2 * self.config.join_settle_time
 
     # -- upcalls ---------------------------------------------------------------
     def on_delivered(self, node_id: int, payload: bytes) -> None:
@@ -304,19 +330,60 @@ class LiveEnvironment:
         else:
             self.apply_eviction(accused)
 
+    def apply_join(self, entry: "RosterEntry") -> None:
+        """Admit a dynamic joiner into this replica (idempotent).
+
+        Splits the directory may emit are counted; the channel cache is
+        dropped so super-group topology re-derives against the new
+        views. The joiner starts its own 2T quarantine now.
+        """
+        if entry.node_id in self.peers:
+            return
+        events = self.directory.add_node(entry.node_id, entry.id_key)
+        self.peers[entry.node_id] = entry
+        self._joined_at[entry.node_id] = self.now
+        self.channels.invalidate()
+        self.stats.add("live_joins_applied")
+        self._count_reconfigurations(events)
+
+    def apply_leave(self, node_id: int) -> None:
+        """Remove a gracefully departing node from this replica
+        (idempotent). Same mechanics as an eviction minus the verdict:
+        dissolves are counted and the departed node's monitor state is
+        forgotten so its silence never reads as misbehaviour."""
+        if node_id not in self.peers:
+            return
+        events = self._remove_member(node_id)
+        self.stats.add("live_leaves_applied")
+        self._count_reconfigurations(events)
+
     def apply_eviction(self, accused: int) -> None:
         """Remove a node from this replica (idempotent)."""
         if accused not in self.peers:
             return
-        del self.peers[accused]
-        link = self._links.pop(accused, None)
+        events = self._remove_member(accused)
+        self.stats.add("evictions_applied")
+        self._count_reconfigurations(events)
+
+    def _remove_member(self, node_id: int):
+        """Shared removal mechanics for leaves and evictions."""
+        del self.peers[node_id]
+        self._joined_at.pop(node_id, None)
+        link = self._links.pop(node_id, None)
         if link is not None:
             link.close()
-        self.directory.remove_node(accused)
+        events = self.directory.remove_node(node_id)
         self.channels.invalidate()
-        if self.node is not None and self.node.node_id != accused:
-            self.node.on_evicted(accused)
-        self.stats.add("evictions_applied")
+        if self.node is not None and self.node.node_id != node_id:
+            self.node.on_evicted(node_id)
+        return events
+
+    def _count_reconfigurations(self, events) -> None:
+        for event in events:
+            if event.kind == "split":
+                self.stats.add("live_group_splits")
+            elif event.kind == "dissolve":
+                self.stats.add("live_group_dissolves")
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:

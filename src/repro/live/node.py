@@ -95,11 +95,17 @@ class LiveNode:
         )
 
     async def activate(
-        self, count: int, roster: "Optional[List[RosterEntry]]" = None
+        self,
+        count: int,
+        roster: "Optional[List[RosterEntry]]" = None,
+        *,
+        membership_log: "Optional[list]" = None,
     ) -> None:
         """Wait for the full roster, build the environment, start the
         origination loop. ``roster`` short-circuits the directory wait
-        when the caller (an in-process cluster) already holds it."""
+        when the caller (an in-process cluster) already holds it;
+        ``membership_log`` replays post-bootstrap joins/leaves so a
+        late joiner's replica converges with the incumbents'."""
         if roster is None:
             roster = await self._client.wait_roster(count)
         self.env = LiveEnvironment(
@@ -108,6 +114,7 @@ class LiveNode:
             roster,
             on_delivered=self._on_delivered,
             on_eviction=self._on_eviction,
+            membership_log=membership_log,
         )
         self.rac = RacNode(
             self.node_id,

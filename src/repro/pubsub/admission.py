@@ -1,0 +1,104 @@
+"""Hash-puzzle admission tickets for dynamic pub/sub joiners.
+
+The paper's §IV-C join is the anti-Sybil gate: a joiner cannot choose
+its group because its node ID is the output of the group-assignment
+puzzle over its identity key. The service keeps that property for
+late joiners with a compact **admission ticket**:
+
+* the client draws a key-seed ``base``, derives its two keypairs from
+  it and solves the puzzle over the identity key — all client-side
+  work (expected ``2^mk`` hash calls);
+* the ticket ships only ``(base, vector, node_id)``; the service —
+  and, through :meth:`repro.live.cluster.LiveCluster.join_node`, every
+  running replica — **re-derives the keypairs from the base and
+  re-runs the puzzle check**, so a forged ID is rejected before any
+  directory state changes.
+
+Key derivation mirrors :func:`repro.core.identity.generate_node_material`
+(seeds ``base*2`` / ``base*2+1``), so a ticket-admitted node is
+indistinguishable from a factory-drawn one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.config import RacConfig
+from ..core.identity import NodeMaterial
+from ..crypto.keys import KeyPair
+from ..groups.assignment import PuzzleSolution, solve_puzzle, verify_puzzle
+
+__all__ = ["AdmissionError", "AdmissionTicket", "solve_ticket", "ticket_material"]
+
+
+class AdmissionError(ValueError):
+    """A join ticket failed verification; nothing was admitted."""
+
+
+@dataclass(frozen=True)
+class AdmissionTicket:
+    """What a joiner presents: enough to re-derive and re-verify."""
+
+    base: int
+    vector: int
+    node_id: int
+
+    def to_json(self) -> dict:
+        return {"base": self.base, "vector": self.vector, "node_id": self.node_id}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "AdmissionTicket":
+        return cls(
+            base=int(data["base"]), vector=int(data["vector"]), node_id=int(data["node_id"])
+        )
+
+
+def solve_ticket(
+    config: RacConfig, base: int, rng: "Optional[random.Random]" = None
+) -> AdmissionTicket:
+    """Client-side join work: derive keys from ``base``, solve the puzzle."""
+    if base <= 0:
+        raise ValueError("key-seed base must be positive")
+    id_keypair = KeyPair.generate(config.key_backend, seed=base * 2)
+    solution = solve_puzzle(
+        id_keypair.public.key_id,
+        config.puzzle_bits,
+        rng=rng if rng is not None else random.Random(base),
+    )
+    return AdmissionTicket(base=base, vector=solution.vector, node_id=solution.node_id)
+
+
+def ticket_material(config: RacConfig, ticket: AdmissionTicket, index: int) -> NodeMaterial:
+    """Verify a ticket and mint the joiner's :class:`NodeMaterial`.
+
+    Raises :class:`AdmissionError` on a forged solution. ``index`` is
+    the service-assigned creation slot (the live cluster's next index).
+    The node's private RNG seed is derived from the base by hashing —
+    deterministic for the ticket holder, uncorrelated with its keys.
+    """
+    id_keypair = KeyPair.generate(config.key_backend, seed=ticket.base * 2)
+    key_id = id_keypair.public.key_id
+    if not verify_puzzle(key_id, ticket.vector, ticket.node_id, config.puzzle_bits):
+        raise AdmissionError(
+            f"ticket for node {ticket.node_id:#x} failed puzzle verification"
+        )
+    pseudonym_keypair = KeyPair.generate(config.key_backend, seed=ticket.base * 2 + 1)
+    digest = hashlib.sha256(b"rac/pubsub-join" + ticket.base.to_bytes(16, "big")).digest()
+    node_seed = int.from_bytes(digest[:8], "big") >> 2  # 62 bits, like the factory
+    return NodeMaterial(
+        index=index,
+        node_id=ticket.node_id,
+        id_keypair=id_keypair,
+        pseudonym_keypair=pseudonym_keypair,
+        puzzle=PuzzleSolution(
+            key_id=key_id,
+            vector=ticket.vector,
+            node_id=ticket.node_id,
+            mk=config.puzzle_bits,
+            attempts=0,  # the client paid the search; the service only verifies
+        ),
+        node_seed=node_seed,
+    )

@@ -1,0 +1,74 @@
+"""Bounded drop-oldest queues for the pub/sub data plane.
+
+The live transport already refuses to buffer unbounded RAM: a
+:class:`~repro.live.environment.PeerLink` caps its backlog at 4096
+frames and drops the oldest (counted, never silent). The service layer
+mirrors that policy one level up — a publish that cannot fan out *now*
+(the publisher's send queue is full, or the topic is being hammered)
+waits in a bounded queue, and when the queue overflows the **oldest**
+pending item is dropped: for a feed the newest publish is the valuable
+one, and the counter makes the loss observable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, List, Optional, TypeVar
+
+from ..simnet.stats import StatsRegistry
+
+__all__ = ["BoundedQueue"]
+
+T = TypeVar("T")
+
+
+class BoundedQueue(Generic[T]):
+    """FIFO with a hard bound; overflow evicts the oldest entry.
+
+    Every overflow bumps ``<counter>_dropped`` on the shared stats
+    registry, so a saturated service degrades into measured loss
+    instead of unbounded memory growth.
+    """
+
+    def __init__(self, limit: int, stats: StatsRegistry, counter: str) -> None:
+        if limit < 1:
+            raise ValueError("queue limit must be at least 1")
+        self.limit = limit
+        self.stats = stats
+        self.counter = counter
+        self._items: "Deque[T]" = deque()
+
+    def push(self, item: T) -> "Optional[T]":
+        """Append; returns the evicted oldest item on overflow."""
+        evicted: "Optional[T]" = None
+        if len(self._items) >= self.limit:
+            evicted = self._items.popleft()
+            self.stats.add(self.counter + "_dropped")
+        self._items.append(item)
+        self.stats.add(self.counter + "_enqueued")
+        return evicted
+
+    def pop(self) -> "Optional[T]":
+        """Pop the oldest item, or None when empty."""
+        if not self._items:
+            return None
+        return self._items.popleft()
+
+    def drain(self, at_most: "Optional[int]" = None) -> "List[T]":
+        """Pop up to ``at_most`` items (all, when None)."""
+        count = len(self._items) if at_most is None else min(at_most, len(self._items))
+        return [self._items.popleft() for _ in range(count)]
+
+    def requeue_front(self, item: T) -> None:
+        """Put an item back at the head (a deferred fan-out retries in
+        order; no drop accounting, the item was already admitted)."""
+        self._items.appendleft(item)
+        while len(self._items) > self.limit:
+            self._items.pop()
+            self.stats.add(self.counter + "_dropped")
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)

@@ -1,0 +1,94 @@
+"""PubSubClient: the framed-JSON TCP client for :class:`PubSubService`.
+
+One persistent connection, request/response in lockstep (the service
+answers every frame in order). The client is deliberately thin — it is
+the same API surface the ``repro pubsub bench`` scenario and the
+integration tests drive, so everything they prove is proven through
+real client bytes, not in-process shortcuts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, List, Optional
+
+from ..live.framing import read_frame, write_frame
+from .admission import AdmissionTicket
+
+__all__ = ["PubSubClient", "PubSubApiError"]
+
+
+class PubSubApiError(RuntimeError):
+    """The service answered ``ok: false``."""
+
+
+class PubSubClient:
+    """Async client for the pub/sub service API."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: "Optional[asyncio.StreamReader]" = None
+        self._writer: "Optional[asyncio.StreamWriter]" = None
+
+    async def connect(self) -> "PubSubClient":
+        self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def request(self, payload: "Dict[str, object]") -> "Dict[str, object]":
+        if self._reader is None or self._writer is None:
+            raise RuntimeError("connect() before issuing requests")
+        write_frame(self._writer, json.dumps(payload).encode())
+        await self._writer.drain()
+        response = json.loads((await read_frame(self._reader)).decode())
+        if not response.get("ok"):
+            raise PubSubApiError(str(response.get("error", "unknown error")))
+        return response
+
+    # -- convenience wrappers --------------------------------------------------
+    async def ping(self) -> bool:
+        return bool((await self.request({"op": "ping"})).get("pong"))
+
+    async def subscribe(self, index: int, topic: str) -> bool:
+        response = await self.request({"op": "subscribe", "index": index, "topic": topic})
+        return bool(response["added"])
+
+    async def unsubscribe(self, index: int, topic: str) -> bool:
+        response = await self.request({"op": "unsubscribe", "index": index, "topic": topic})
+        return bool(response["removed"])
+
+    async def publish(self, index: int, topic: str, body: bytes) -> int:
+        response = await self.request(
+            {"op": "publish", "index": index, "topic": topic, "body": body.hex()}
+        )
+        return int(response["seq"])
+
+    async def topics(self) -> "List[Dict[str, object]]":
+        return list((await self.request({"op": "topics"}))["topics"])
+
+    async def join(self, ticket: "Optional[AdmissionTicket]" = None) -> "Dict[str, object]":
+        payload: "Dict[str, object]" = {"op": "join"}
+        if ticket is not None:
+            payload["ticket"] = ticket.to_json()
+        return await self.request(payload)
+
+    async def leave(self, index: int) -> str:
+        return str((await self.request({"op": "leave", "index": index}))["node_id"])
+
+    async def stats(self) -> "Dict[str, object]":
+        return await self.request({"op": "stats"})
+
+    async def delivered(self) -> "Dict[str, int]":
+        response = await self.request({"op": "delivered"})
+        return {str(k): int(v) for k, v in response["by_topic"].items()}

@@ -1,0 +1,216 @@
+"""Substrate-neutral pub/sub engine: queues, fan-out, parity ledger.
+
+Both fronts — the deterministic sim twin (:mod:`repro.pubsub.sim`) and
+the live service (:mod:`repro.pubsub.service`) — run this same engine;
+only the pump's ``queue_fn`` (how a sealed publish enters a node's
+send queue) and the clock differ. That is the property the tests lean
+on: a behaviour proven on the sim twin (splits between subscribe and
+publish, reaping, backpressure) is the behaviour the live service
+runs.
+
+Delivery accounting is a *parity ledger*: at fan-out time the engine
+records which routing ids a publish was addressed to; each delivery
+upcall checks one off. A run has **delivery parity** when every
+expected (topic, seq, subscriber) either landed or is excused — the
+subscriber left or was evicted before run end, or the publish was
+dropped by declared backpressure. Silent loss is the only failure.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..groups.manager import GroupDirectory
+from ..simnet.stats import StatsRegistry
+from .backpressure import BoundedQueue
+from .directory import TopicDirectory
+
+__all__ = ["ParityReport", "PubSubCore", "encode_publish", "decode_publish"]
+
+#: Default bound on pending publishes per topic (drop-oldest beyond).
+PUBLISH_QUEUE_LIMIT = 256
+
+
+def encode_publish(topic: str, seq: int, body: bytes) -> bytes:
+    """The anonymous payload a subscriber ultimately receives."""
+    return json.dumps({"t": topic, "s": seq, "b": body.hex()}).encode()
+
+
+def decode_publish(payload: bytes) -> "Optional[Tuple[str, int, bytes]]":
+    """Parse a delivered payload; None if it is not a pub/sub frame."""
+    try:
+        data = json.loads(payload.decode())
+        return str(data["t"]), int(data["s"]), bytes.fromhex(data["b"])
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+        return None
+
+
+@dataclass
+class ParityReport:
+    """Expected vs landed fan-outs, with the unexcused misses."""
+
+    expected: int
+    delivered: int
+    #: (topic, seq, routing_id) triples still owed to live subscribers.
+    missing: "List[Tuple[str, int, int]]" = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.missing
+
+    def render(self) -> str:
+        verdict = "OK" if self.ok else f"{len(self.missing)} MISSING"
+        lines = [f"delivery parity: {verdict} ({self.delivered}/{self.expected} landed)"]
+        for topic, seq, rid in self.missing[:10]:
+            lines.append(f"  missing: topic={topic!r} seq={seq} subscriber={rid:#x}")
+        return "\n".join(lines)
+
+
+class _Pending:
+    """One queued publish, with its not-yet-sent fan-out targets."""
+
+    __slots__ = ("seq", "topic", "body", "publisher", "targets")
+
+    def __init__(self, seq: int, topic: str, body: bytes, publisher: int) -> None:
+        self.seq = seq
+        self.topic = topic
+        self.body = body
+        self.publisher = publisher
+        #: None until first resolved (resolution is deferred to the
+        #: pump so the *current* groups are used — never subscribe-time
+        #: state).
+        self.targets: "Optional[List[Tuple[object, int]]]" = None
+
+
+class PubSubCore:
+    """Topics, bounded publish queues and the delivery ledger."""
+
+    def __init__(
+        self,
+        stats: StatsRegistry,
+        *,
+        publish_queue_limit: int = PUBLISH_QUEUE_LIMIT,
+    ) -> None:
+        self.stats = stats
+        self.topics = TopicDirectory()
+        self.publish_queue_limit = publish_queue_limit
+        self._queues: "Dict[str, BoundedQueue]" = {}
+        self._seq = itertools.count(1)
+        #: (topic, seq) → routing ids the publish was fanned out to.
+        self.expected: "Dict[Tuple[str, int], Set[int]]" = {}
+        #: (topic, seq) → routing ids that reported delivery.
+        self.landed: "Dict[Tuple[str, int], Set[int]]" = {}
+
+    # -- publishes -------------------------------------------------------------
+    def enqueue_publish(self, topic: str, body: bytes, publisher: int) -> int:
+        """Admit a publish into the topic's bounded queue; returns seq."""
+        if not topic:
+            raise ValueError("topic must be non-empty")
+        queue = self._queues.get(topic)
+        if queue is None:
+            queue = self._queues[topic] = BoundedQueue(
+                self.publish_queue_limit, self.stats, "pubsub_publish_queue"
+            )
+        seq = next(self._seq)
+        evicted = queue.push(_Pending(seq, topic, body, publisher))
+        if evicted is not None:
+            # Declared backpressure: the oldest pending publish will
+            # never fan out; strike its unsent targets off the ledger.
+            self.expected.pop((evicted.topic, evicted.seq), None)
+        self.stats.add("pubsub_publishes")
+        return seq
+
+    def pump(
+        self,
+        directory: GroupDirectory,
+        queue_fn: "Callable[[int, object, int, bytes], bool]",
+    ) -> int:
+        """Fan pending publishes out through ``queue_fn``.
+
+        ``queue_fn(publisher, key, gid, payload)`` seals one copy into
+        the publisher's send queue and returns False when that queue is
+        full — the pending item then keeps its remaining targets and
+        retries next pump (per-publisher backpressure propagates up
+        instead of silently dropping copies). Groups are resolved here,
+        against the directory as it is *now*. Returns copies sent.
+        """
+        sent = 0
+        for topic in sorted(self._queues):
+            queue = self._queues[topic]
+            while queue:
+                item = queue.pop()
+                assert item is not None
+                if item.targets is None:
+                    resolved = self.topics.resolve(topic, directory)
+                    item.targets = [(sub.key, sub.routing_id) for sub, _ in resolved]
+                    self.expected[(topic, item.seq)] = {rid for _, rid in item.targets}
+                    if not item.targets:
+                        self.stats.add("pubsub_publishes_no_subscribers")
+                        continue
+                remaining: "List[Tuple[object, int]]" = []
+                blocked = False
+                payload = encode_publish(topic, item.seq, item.body)
+                for key, routing_id in item.targets:
+                    if blocked:
+                        remaining.append((key, routing_id))
+                        continue
+                    try:
+                        gid = directory.group_of_node(routing_id).gid
+                    except KeyError:
+                        # Subscriber evicted/left since resolution: the
+                        # topic directory reaps on its next resolve;
+                        # the ledger excuses it as departed.
+                        self.expected[(topic, item.seq)].discard(routing_id)
+                        self.stats.add("pubsub_fanout_reaped")
+                        continue
+                    if queue_fn(item.publisher, key, gid, payload):
+                        sent += 1
+                        self.stats.add("pubsub_fanout_sent")
+                    else:
+                        blocked = True
+                        remaining.append((key, routing_id))
+                        self.stats.add("pubsub_fanout_deferred")
+                if remaining:
+                    item.targets = remaining
+                    queue.requeue_front(item)
+                    break  # publisher saturated; later items wait too
+        return sent
+
+    def pending_publishes(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    # -- deliveries ------------------------------------------------------------
+    def record_delivery(self, node_id: int, payload: bytes) -> "Optional[Tuple[str, int]]":
+        """Check a delivered payload off the ledger (None if foreign)."""
+        parsed = decode_publish(payload)
+        if parsed is None:
+            return None
+        topic, seq, _body = parsed
+        self.landed.setdefault((topic, seq), set()).add(node_id)
+        self.stats.add("pubsub_deliveries")
+        return topic, seq
+
+    def parity(self, excused: "Set[int]") -> ParityReport:
+        """Judge the ledger. ``excused`` are routing ids that departed
+        or were evicted — fan-outs owed to them are written off."""
+        expected_total = 0
+        delivered_total = 0
+        missing: "List[Tuple[str, int, int]]" = []
+        for (topic, seq), targets in sorted(self.expected.items()):
+            landed = self.landed.get((topic, seq), set())
+            for rid in sorted(targets):
+                expected_total += 1
+                if rid in landed:
+                    delivered_total += 1
+                elif rid not in excused:
+                    missing.append((topic, seq, rid))
+        return ParityReport(expected_total, delivered_total, missing)
+
+    def delivered_by_topic(self) -> "Dict[str, int]":
+        counts: "Dict[str, int]" = {}
+        for (topic, _seq), nodes in self.landed.items():
+            counts[topic] = counts.get(topic, 0) + len(nodes)
+        return counts

@@ -1,0 +1,150 @@
+"""The topic directory: pseudonym-key subscriptions, resolved late.
+
+A subscription is what the paper's application sketch (§IV-C) calls
+for: a **pseudonym public key** registered under a topic, unlinkable to
+the subscriber's identity key. To route a publish, the sender needs the
+destination's *group* — and that is the part that must never be cached:
+groups split and dissolve under churn, so a gid recorded at subscribe
+time goes stale the moment the directory reconfigures (the old
+``examples/anonymous_pubsub.py`` demo had exactly this bug).
+
+The directory therefore stores ``(pseudonym_key, routing_id)`` and
+resolves ``routing_id → gid`` against the live
+:class:`~repro.groups.manager.GroupDirectory` **at publish time**,
+keying a memo on the group directory's mutation ``version`` so a split
+or dissolve anywhere invalidates every cached resolution at once.
+
+Anonymity note: the directory learns which ID-space position each
+pseudonym key sits at — the same facts the paper's application-
+dependent key discovery hands every *sender* (a sender must know the
+destination's key and group to build the onion). The pseudonym keeps
+the subscription unlinkable to the node's identity key; it does not
+hide its group, which is public routing state by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..crypto.keys import PublicKey
+from ..groups.manager import GroupDirectory
+
+__all__ = ["Subscription", "TopicDirectory"]
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """One pseudonym-key registration under a topic."""
+
+    topic: str
+    key: PublicKey
+    #: The subscriber's 128-bit node id — the coordinate the group
+    #: directory partitions, so the *current* group is always derivable.
+    routing_id: int
+
+
+class TopicDirectory:
+    """All subscriptions of one pub/sub deployment.
+
+    The authoritative copy lives in the service façade; it is plain
+    deterministic state (no clocks, no sockets), so replicas stay
+    convergent by applying the same subscribe/unsubscribe/reap sequence
+    — the same shared-view simplification the membership directory
+    makes (DESIGN.md §1).
+    """
+
+    def __init__(self) -> None:
+        self._topics: "Dict[str, List[Subscription]]" = {}
+        #: (directory version, topic) → resolved fan-out list; dropped
+        #: whenever the group directory mutates underneath us.
+        self._resolve_memo: "Dict[str, Tuple[int, List[Tuple[Subscription, int]]]]" = {}
+
+    # -- registration ----------------------------------------------------------
+    def subscribe(self, topic: str, key: PublicKey, routing_id: int) -> bool:
+        """Register a pseudonym key under ``topic``; False if duplicate."""
+        if not topic:
+            raise ValueError("topic must be non-empty")
+        subs = self._topics.setdefault(topic, [])
+        for sub in subs:
+            if sub.key == key and sub.routing_id == routing_id:
+                return False
+        subs.append(Subscription(topic, key, routing_id))
+        self._resolve_memo.pop(topic, None)
+        return True
+
+    def unsubscribe(self, topic: str, key: PublicKey, routing_id: int) -> bool:
+        """Drop one registration; False if it was not present."""
+        subs = self._topics.get(topic)
+        if not subs:
+            return False
+        kept = [s for s in subs if not (s.key == key and s.routing_id == routing_id)]
+        if len(kept) == len(subs):
+            return False
+        if kept:
+            self._topics[topic] = kept
+        else:
+            del self._topics[topic]
+        self._resolve_memo.pop(topic, None)
+        return True
+
+    def reap(self, routing_id: int) -> "List[Subscription]":
+        """Drop every subscription of a departed/evicted node.
+
+        Called when membership removes a node: its pseudonym keys must
+        stop attracting fan-out, or every later publish wastes onion
+        traffic on (and leaks interest-set bits about) a ghost.
+        """
+        reaped: "List[Subscription]" = []
+        for topic in list(self._topics):
+            subs = self._topics[topic]
+            kept = [s for s in subs if s.routing_id != routing_id]
+            if len(kept) != len(subs):
+                reaped.extend(s for s in subs if s.routing_id == routing_id)
+                if kept:
+                    self._topics[topic] = kept
+                else:
+                    del self._topics[topic]
+                self._resolve_memo.pop(topic, None)
+        return reaped
+
+    # -- lookups ---------------------------------------------------------------
+    def topics(self) -> "List[str]":
+        return sorted(self._topics)
+
+    def subscribers(self, topic: str) -> "List[Subscription]":
+        return list(self._topics.get(topic, ()))
+
+    def subscriber_count(self, topic: str) -> int:
+        return len(self._topics.get(topic, ()))
+
+    def resolve(
+        self, topic: str, directory: GroupDirectory
+    ) -> "List[Tuple[Subscription, int]]":
+        """The fan-out list for ``topic``, with **current** group ids.
+
+        Resolution happens here, at publish time, against the live
+        group directory; the memo is keyed on ``directory.version`` so
+        any split/dissolve/join/leave since the last publish discards
+        it. Subscriptions whose routing id is no longer a member are
+        reaped in passing (eviction raced the publish).
+        """
+        memo = self._resolve_memo.get(topic)
+        if memo is not None and memo[0] == directory.version:
+            return list(memo[1])
+        resolved: "List[Tuple[Subscription, int]]" = []
+        stale: "List[Subscription]" = []
+        for sub in self._topics.get(topic, ()):
+            try:
+                gid = directory.group_of_node(sub.routing_id).gid
+            except KeyError:
+                stale.append(sub)
+                continue
+            resolved.append((sub, gid))
+        for sub in stale:
+            self.unsubscribe(sub.topic, sub.key, sub.routing_id)
+        self._resolve_memo[topic] = (directory.version, resolved)
+        return list(resolved)
+
+    def total_subscriptions(self) -> int:
+        return sum(len(subs) for subs in self._topics.values())

@@ -1,0 +1,111 @@
+"""SimPubSub: the deterministic twin of the live pub/sub service.
+
+Runs :class:`~repro.pubsub.core.PubSubCore` over a simulated
+:class:`~repro.core.system.RacSystem` — same topic directory, same
+bounded queues, same publish-time group resolution, but a virtual
+clock and perfectly reproducible scheduling. Unit tests and the
+``pubsub_point`` sweep workload drive this twin; the live service is
+the same engine over TCP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..core.config import RacConfig
+from ..core.system import RacSystem
+from .core import ParityReport, PubSubCore
+
+__all__ = ["SimPubSub"]
+
+
+class SimPubSub:
+    """An anonymous pub/sub deployment inside the simulator."""
+
+    #: How often pending fan-outs retry (virtual seconds).
+    PUMP_INTERVAL = 0.05
+
+    def __init__(self, config: "Optional[RacConfig]" = None, seed: int = 0) -> None:
+        self.system = RacSystem(config, seed=seed)
+        self.core = PubSubCore(self.system.stats)
+        self._gone: "Set[int]" = set()
+        self._pump_scheduled = False
+        #: node id → how many of its delivered payloads are ledgered.
+        self._ledger_cursor: "Dict[int, int]" = {}
+
+    # -- membership ------------------------------------------------------------
+    def bootstrap(self, count: int) -> "List[int]":
+        node_ids = self.system.bootstrap(count)
+        self._schedule_pump()
+        return node_ids
+
+    def join(self) -> int:
+        """A node joins mid-run via the §IV-C puzzle handshake."""
+        return self.system.join()
+
+    def leave(self, node_id: int) -> None:
+        self.system.leave(node_id)
+        self._gone.add(node_id)
+        self.core.topics.reap(node_id)
+
+    # -- client operations -----------------------------------------------------
+    def subscribe(self, node_id: int, topic: str) -> bool:
+        key = self.system.pseudonym_keys[node_id]
+        return self.core.topics.subscribe(topic, key, node_id)
+
+    def unsubscribe(self, node_id: int, topic: str) -> bool:
+        key = self.system.pseudonym_keys[node_id]
+        return self.core.topics.unsubscribe(topic, key, node_id)
+
+    def publish(self, publisher: int, topic: str, body: bytes) -> int:
+        seq = self.core.enqueue_publish(topic, body, publisher)
+        self._pump()
+        return seq
+
+    # -- engine ----------------------------------------------------------------
+    def _queue_fn(self, publisher: int, key, gid: int, payload: bytes) -> bool:
+        node = self.system.nodes.get(publisher)
+        if node is None or not node.active:
+            return True  # publisher gone: the copy is undeliverable, drop
+        return node.queue_message(key, gid, payload)
+
+    def _pump(self) -> int:
+        return self.core.pump(self.system.directory, self._queue_fn)
+
+    def _schedule_pump(self) -> None:
+        """Keep a low-rate retry tick alive while publishes are pending
+        (deferred fan-outs must not wait for the next publish call)."""
+        if self._pump_scheduled:
+            return
+        self._pump_scheduled = True
+        self.system.schedule(self.PUMP_INTERVAL, self._pump_tick)
+
+    def _pump_tick(self) -> None:
+        self._pump_scheduled = False
+        self._pump()
+        self._schedule_pump()
+
+    def run(self, duration: float) -> None:
+        """Advance the simulation; deliveries are ledgered as they land."""
+        self._drain_deliveries()
+        self.system.run(duration)
+        self._drain_deliveries()
+
+    def _drain_deliveries(self) -> None:
+        for node_id, node in self.system.nodes.items():
+            seen = self._ledger_cursor.setdefault(node_id, 0)
+            delivered = list(node.delivered)
+            for payload in delivered[seen:]:
+                self.core.record_delivery(node_id, payload)
+            self._ledger_cursor[node_id] = len(delivered)
+
+    # -- verdicts --------------------------------------------------------------
+    def excused(self) -> "Set[int]":
+        return set(self._gone) | set(self.system.evicted)
+
+    def parity(self) -> ParityReport:
+        self._drain_deliveries()
+        return self.core.parity(self.excused())
+
+    def reconfigurations(self) -> "Dict[str, int]":
+        return dict(self.system.directory.event_counts)

@@ -1,0 +1,320 @@
+"""Unit tests for the anonymous pub/sub layer (repro.pubsub).
+
+The centerpiece regression here is the stale-gid bug the old
+``examples/anonymous_pubsub.py`` demo carried: it cached ``(pseudonym
+key, group id)`` at *subscribe* time, so the first group split between
+subscribe and publish routed fan-out onions at a group the subscriber
+no longer belonged to. The topic directory now stores routing ids and
+resolves groups at publish time; these tests split a directory between
+subscribe and publish and assert delivery still lands.
+"""
+
+import math
+
+import pytest
+
+from repro.core.config import RacConfig
+from repro.crypto.keys import KeyPair
+from repro.groups.manager import GroupDirectory
+from repro.orchestrator.workloads import WorkerContext, resolve_workload
+from repro.pubsub import (
+    AdmissionError,
+    AdmissionTicket,
+    BoundedQueue,
+    CapacityModel,
+    SimPubSub,
+    TopicDirectory,
+    capacity_table,
+    decode_publish,
+    encode_publish,
+    render_capacity_table,
+    solve_ticket,
+    ticket_material,
+)
+from repro.simnet.stats import StatsRegistry
+
+
+def _key(seed: int):
+    return KeyPair.generate("sim", seed=seed).public
+
+
+def _config(**overrides):
+    base = dict(
+        group_min=3,
+        group_max=6,
+        relay_timeout=60.0,
+        predecessor_timeout=60.0,
+        rate_window=60.0,
+    )
+    base.update(overrides)
+    return RacConfig.small(**base)
+
+
+class TestBoundedQueue:
+    def test_fifo_and_overflow_drops_oldest(self):
+        stats = StatsRegistry()
+        q = BoundedQueue(3, stats, "test_q")
+        assert q.push("a") is None
+        assert q.push("b") is None
+        assert q.push("c") is None
+        # Overflow evicts the OLDEST item and counts the drop.
+        assert q.push("d") == "a"
+        assert stats.value("test_q_dropped") == 1
+        assert stats.value("test_q_enqueued") == 4
+        assert q.drain() == ["b", "c", "d"]
+        assert q.pop() is None
+
+    def test_requeue_front_preserves_order(self):
+        stats = StatsRegistry()
+        q = BoundedQueue(4, stats, "test_q")
+        for item in ("a", "b", "c"):
+            q.push(item)
+        head = q.pop()
+        q.requeue_front(head)
+        assert q.drain(2) == ["a", "b"]
+        assert len(q) == 1
+
+    def test_limit_validated(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(0, StatsRegistry(), "bad")
+
+
+class TestTopicDirectory:
+    def test_duplicate_subscribe_rejected(self):
+        topics = TopicDirectory()
+        key = _key(1)
+        assert topics.subscribe("news", key, 101)
+        assert not topics.subscribe("news", key, 101)
+        assert topics.subscriber_count("news") == 1
+
+    def test_unsubscribe_and_reap(self):
+        topics = TopicDirectory()
+        k1, k2 = _key(1), _key(2)
+        topics.subscribe("news", k1, 101)
+        topics.subscribe("news", k2, 102)
+        topics.subscribe("sport", k2, 102)
+        assert topics.unsubscribe("news", k1, 101)
+        assert not topics.unsubscribe("news", k1, 101)
+        # A departed node's registrations vanish from every topic.
+        reaped = topics.reap(102)
+        assert {s.topic for s in reaped} == {"news", "sport"}
+        assert topics.topics() == []
+        assert topics.total_subscriptions() == 0
+
+    def test_empty_topic_rejected(self):
+        with pytest.raises(ValueError):
+            TopicDirectory().subscribe("", _key(1), 1)
+
+    def test_resolution_survives_split(self):
+        """The stale-gid regression, distilled: the group id a
+        subscriber had at subscribe time is NOT the one fan-out uses
+        after the directory splits."""
+        directory = GroupDirectory(num_rings=3, smin=2, smax=4)
+        node_ids = [10, 2**126, 2**127, 2**127 + 10]
+        for nid in node_ids:
+            directory.add_node(nid)
+        topics = TopicDirectory()
+        key = _key(7)
+        subscriber = node_ids[0]
+        topics.subscribe("news", key, subscriber)
+        gid_at_subscribe = directory.group_of_node(subscriber).gid
+
+        before = topics.resolve("news", directory)
+        assert [(s.routing_id, gid) for s, gid in before] == [
+            (subscriber, gid_at_subscribe)
+        ]
+
+        # Push the subscriber's half of the ID space past smax.
+        grew = [1, 2, 3, 4]
+        for nid in grew:
+            directory.add_node(nid)
+        assert directory.event_counts.get("split", 0) >= 1
+
+        after = topics.resolve("news", directory)
+        gid_now = directory.group_of_node(subscriber).gid
+        assert [(s.routing_id, gid) for s, gid in after] == [(subscriber, gid_now)]
+        # The split really moved the subscriber (the point of the test).
+        assert gid_now != gid_at_subscribe
+
+    def test_resolve_memo_tracks_directory_version(self):
+        directory = GroupDirectory(num_rings=3, smin=2, smax=4)
+        directory.add_node(5)
+        topics = TopicDirectory()
+        topics.subscribe("news", _key(1), 5)
+        first = topics.resolve("news", directory)
+        assert topics.resolve("news", directory) == first  # memo hit
+        version = directory.version
+        directory.add_node(6)
+        assert directory.version > version  # any event invalidates
+        assert topics.resolve("news", directory)
+
+    def test_resolve_reaps_stale_routing_ids(self):
+        directory = GroupDirectory(num_rings=3, smin=2, smax=None)
+        directory.add_node(5)
+        topics = TopicDirectory()
+        topics.subscribe("news", _key(1), 5)
+        topics.subscribe("news", _key(2), 77)  # never joined (evicted race)
+        resolved = topics.resolve("news", directory)
+        assert [s.routing_id for s, _ in resolved] == [5]
+        assert topics.subscriber_count("news") == 1
+
+
+class TestAdmission:
+    def test_ticket_round_trip(self):
+        config = _config()
+        ticket = solve_ticket(config, base=4242)
+        material = ticket_material(config, ticket, index=9)
+        assert material.node_id == ticket.node_id
+        assert material.index == 9
+        assert material.puzzle.attempts == 0  # the client paid the search
+        # Key derivation mirrors the factory seeds (base*2 / base*2+1).
+        assert material.id_keypair.public == KeyPair.generate(
+            config.key_backend, seed=4242 * 2
+        ).public
+
+    def test_forged_ticket_rejected(self):
+        config = _config()
+        ticket = solve_ticket(config, base=4242)
+        forged = AdmissionTicket(
+            base=ticket.base, vector=ticket.vector + 1, node_id=ticket.node_id
+        )
+        with pytest.raises(AdmissionError):
+            ticket_material(config, forged, index=9)
+
+    def test_json_round_trip(self):
+        ticket = solve_ticket(_config(), base=7)
+        assert AdmissionTicket.from_json(ticket.to_json()) == ticket
+
+    def test_bad_base_rejected(self):
+        with pytest.raises(ValueError):
+            solve_ticket(_config(), base=0)
+
+
+class TestPublishEncoding:
+    def test_round_trip(self):
+        payload = encode_publish("news", 3, b"\x00\xffhello")
+        assert decode_publish(payload) == ("news", 3, b"\x00\xffhello")
+
+    def test_garbage_is_none(self):
+        assert decode_publish(b"\x00\x01\x02") is None
+        assert decode_publish(b'{"other": "json"}') is None
+
+
+class TestCapacityModel:
+    def test_group_rate_is_size_free(self):
+        model = CapacityModel(RacConfig())
+        # C / ((L+1) * R * M * 8): members add uplinks and cover in
+        # lockstep, so the per-group rate has no g term at all.
+        config = model.config
+        expected = config.link_bandwidth_bps / (
+            (config.num_relays + 1) * config.num_rings * config.message_size * 8
+        )
+        assert model.group_msgs_per_sec() == pytest.approx(expected)
+
+    def test_plan_inverts_to_groups(self):
+        model = CapacityModel(RacConfig())
+        point = model.plan(1000.0, anonymity_degree=500, subscribers_per_topic=10)
+        per_group = model.group_msgs_per_sec()
+        assert point.groups == max(1, math.ceil(1000.0 * 10 / per_group))
+        assert point.members == point.groups * 500
+        assert point.publishes_per_sec == pytest.approx(
+            point.groups * per_group / 10
+        )
+
+    def test_plan_validates(self):
+        model = CapacityModel(RacConfig())
+        with pytest.raises(ValueError):
+            model.plan(0.0, 500)
+        with pytest.raises(ValueError):
+            model.plan(1.0, model.config.group_min - 1)
+        with pytest.raises(ValueError):
+            model.publishes_per_sec(1, 0)
+
+    def test_table_renders(self):
+        points = capacity_table(RacConfig())
+        text = render_capacity_table(points, RacConfig())
+        assert "anonymity degree" in text
+        assert len(points) == 4 * 3 * 3
+
+
+class TestSimPubSub:
+    def test_stale_gid_regression_split_between_subscribe_and_publish(self):
+        """Subscribe, split the subscriber's group via dynamic joins,
+        THEN publish: delivery must still land (the old demo's cached
+        gid would have routed the onion at the pre-split group)."""
+        service = SimPubSub(_config(), seed=99)
+        nodes = service.bootstrap(8)
+        service.run(1.0)
+
+        reader = nodes[5]
+        service.subscribe(reader, "leaks")
+        gid_before = service.system.directory.group_of_node(reader).gid
+        splits_before = service.system.directory.event_counts.get("split", 0)
+
+        while service.system.directory.event_counts.get("split", 0) == splits_before:
+            service.join()
+
+        service.publish(nodes[0], "leaks", b"post-split")
+        service.run(12.0)
+
+        parity = service.parity()
+        assert parity.ok, f"missing fan-outs: {parity.missing}"
+        assert parity.delivered == 1
+        got = [decode_publish(p) for p in service.system.delivered_messages(reader)]
+        assert ("leaks", 1, b"post-split") in got
+        assert not service.system.evicted
+        # The run must actually have moved someone for this to regress.
+        moved_or_split = (
+            service.system.directory.group_of_node(reader).gid != gid_before
+            or service.system.directory.event_counts["split"] > splits_before
+        )
+        assert moved_or_split
+
+    def test_unsubscribe_stops_fanout(self):
+        service = SimPubSub(_config(), seed=3)
+        nodes = service.bootstrap(6)
+        service.run(1.0)
+        service.subscribe(nodes[1], "news")
+        service.publish(nodes[0], "news", b"one")
+        service.run(8.0)
+        service.unsubscribe(nodes[1], "news")
+        service.publish(nodes[0], "news", b"two")
+        service.run(8.0)
+        parity = service.parity()
+        assert parity.ok
+        assert parity.delivered == 1  # only the pre-unsubscribe publish
+
+    def test_leaver_subscriptions_are_excused(self):
+        service = SimPubSub(_config(), seed=5)
+        nodes = service.bootstrap(8)
+        service.run(1.0)
+        service.subscribe(nodes[1], "news")
+        service.subscribe(nodes[2], "news")
+        service.publish(nodes[0], "news", b"payload")
+        service.leave(nodes[1])  # departs with the fan-out in flight
+        service.run(12.0)
+        parity = service.parity()
+        assert parity.ok  # the leaver's copy is excused, not missing
+        assert nodes[1] in service.excused()
+
+
+class TestPubSubWorkload:
+    def test_pubsub_point_clean_churn_cell(self):
+        fn = resolve_workload("pubsub_point")
+        params = {
+            "nodes": 8,
+            "duration": 6.0,
+            "joins": 6,
+            "leaves": 6,
+            "relay_timeout": 60.0,
+            "predecessor_timeout": 60.0,
+            "rate_window": 60.0,
+        }
+        metrics = fn(params, 0, WorkerContext())
+        assert metrics["splits"] >= 1
+        assert metrics["dissolves"] >= 1
+        assert metrics["evictions"] == 0
+        assert metrics["parity_missing"] == 0
+        assert metrics["deliveries"] == metrics["fanout_expected"]
+        # Deterministic in (params, seed): the pool's retry contract.
+        assert fn(params, 0, WorkerContext()) == metrics
