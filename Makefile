@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-baseline ci-bench-smoke sweep-smoke live-smoke chaos-smoke campaign-smoke scale-smoke pubsub-smoke report examples ci clean
+.PHONY: install test bench bench-baseline ci-bench-smoke sweep-smoke live-smoke chaos-smoke campaign-smoke scale-smoke pubsub-smoke topo-smoke report examples ci clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -62,6 +62,11 @@ scale-smoke:  # sharded N=64 on 2 workers == monolithic; pool and serial fingerp
 pubsub-smoke:  # live pub/sub: dynamic join -> split, leaves -> dissolve, 0 evictions, delivery parity
 	PYTHONPATH=src $(PYTHON) -m repro pubsub bench --nodes 6 --seed 0 --check
 
+topo-smoke:  # wan-king on both substrates, invariant-checked, + lan==bare-star equivalence gate
+	PYTHONPATH=src $(PYTHON) -m repro topo verify
+	PYTHONPATH=src $(PYTHON) -m repro topo run --preset wan-king --substrate both \
+		--nodes 6 --horizon 12 --seed 0 --check
+
 report:
 	$(PYTHON) -m repro report --output results/full_report.txt
 
@@ -74,6 +79,7 @@ ci:  # what .github/workflows/ci.yml runs
 	$(MAKE) campaign-smoke
 	$(MAKE) scale-smoke
 	$(MAKE) pubsub-smoke
+	$(MAKE) topo-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_smoke.py -q
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_scale.py -q
 

@@ -44,11 +44,13 @@ _REQUIRED_METRICS = (
 
 @dataclass
 class CellAggregate:
-    """All seeds/sizes of one (strategy, plan, loss) point, folded."""
+    """All seeds/sizes of one (strategy, plan, loss, topology) point,
+    folded."""
 
     strategy: str
     plan: str
     loss: float
+    topology: str = "lan"
     cells: int = 0
     honest_evictions: int = 0
     missed_detections: int = 0
@@ -95,7 +97,8 @@ class CellAggregate:
 
 @dataclass
 class StrategyFrontier:
-    """One (strategy, plan) line of the accountability frontier."""
+    """One (strategy, plan, topology) line of the accountability
+    frontier: the loss-intensity walk under one network shape."""
 
     strategy: str
     plan: str
@@ -106,9 +109,13 @@ class StrategyFrontier:
     entropy_baseline: float
     entropy_worst: float
     requires_detection: bool
+    topology: str = "lan"
 
     def describe(self) -> str:
-        span = f"{self.strategy} under plan {self.plan}: "
+        span = f"{self.strategy} under plan {self.plan}"
+        if self.topology != "lan":
+            span += f" on {self.topology}"
+        span += ": "
         if self.sound_up_to is None:
             body = f"unsound already at {min(self.losses):.0%} loss"
         elif self.sound_up_to >= max(self.losses):
@@ -163,6 +170,7 @@ class FrontierReport:
             headers=[
                 "strategy",
                 "plan",
+                "topology",
                 "loss",
                 "cells",
                 "honest evic",
@@ -174,7 +182,9 @@ class FrontierReport:
             ],
             title="campaign matrix: strategies x fault plans x loss intensities",
         )
-        for p in sorted(self.points, key=lambda p: (p.strategy, p.plan, p.loss)):
+        for p in sorted(
+            self.points, key=lambda p: (p.strategy, p.plan, p.topology, p.loss)
+        ):
             detect = (
                 f"{p.detected}/{p.detection_required}"
                 if p.detection_required
@@ -188,6 +198,7 @@ class FrontierReport:
             table.add_row(
                 p.strategy,
                 p.plan,
+                p.topology,
                 f"{p.loss:.0%}",
                 p.cells,
                 p.honest_evictions,
@@ -200,7 +211,9 @@ class FrontierReport:
         lines = [table.render(), "", "accountability frontier:"]
         lines.extend(
             "  " + f.describe()
-            for f in sorted(self.frontiers, key=lambda f: (f.strategy, f.plan))
+            for f in sorted(
+                self.frontiers, key=lambda f: (f.strategy, f.plan, f.topology)
+            )
         )
         lines.append("")
         baseline = self.baseline_points
@@ -224,7 +237,7 @@ class FrontierReport:
 
 def build_frontier(store: ResultStore) -> FrontierReport:
     """Fold a result store's campaign records into the frontier."""
-    grouped: "Dict[Tuple[str, str, float], CellAggregate]" = {}
+    grouped: "Dict[Tuple[str, str, float, str], CellAggregate]" = {}
     skipped = failed = foreign = 0
     for record in store.latest().values():
         if record.experiment != CAMPAIGN_EXPERIMENT:
@@ -240,6 +253,7 @@ def build_frontier(store: ResultStore) -> FrontierReport:
             str(record.params.get("strategy", "honest")),
             str(record.params.get("plan", "none")),
             float(record.params.get("loss", 0.0)),
+            str(record.params.get("topology", "lan")),
         )
         point = grouped.get(key)
         if point is None:
@@ -260,10 +274,10 @@ def build_frontier(store: ResultStore) -> FrontierReport:
         ) else 0
 
     frontiers: "List[StrategyFrontier]" = []
-    by_pair: "Dict[Tuple[str, str], List[CellAggregate]]" = {}
-    for (strategy, plan, _loss), point in grouped.items():
-        by_pair.setdefault((strategy, plan), []).append(point)
-    for (strategy, plan), points in by_pair.items():
+    by_pair: "Dict[Tuple[str, str, str], List[CellAggregate]]" = {}
+    for (strategy, plan, _loss, topology), point in grouped.items():
+        by_pair.setdefault((strategy, plan, topology), []).append(point)
+    for (strategy, plan, topology), points in by_pair.items():
         points.sort(key=lambda p: p.loss)
         losses = [p.loss for p in points]
         sound_up_to: "Optional[float]" = None
@@ -285,6 +299,7 @@ def build_frontier(store: ResultStore) -> FrontierReport:
                 entropy_baseline=points[0].mean_entropy,
                 entropy_worst=points[-1].mean_entropy,
                 requires_detection=any(p.detection_required for p in points),
+                topology=topology,
             )
         )
 

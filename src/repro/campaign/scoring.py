@@ -48,6 +48,7 @@ from ..chaos.run import final_blacklists, note_planned_crashes
 from ..core.config import RacConfig
 from ..core.system import RacSystem
 from ..freeride.registry import BEHAVIORS, UnknownBehaviorError
+from ..topo.model import preset as topo_preset
 
 __all__ = [
     "DEFAULT_HORIZON",
@@ -248,6 +249,15 @@ def run_campaign_cell(params: "Dict[str, Any]", seed: int) -> CampaignCellOutcom
 
     overrides = {k: params[k] for k in _CONFIG_KEYS if k in params}
     config = campaign_config(loss, **overrides)
+    # The network-shape axis: a topology preset sampled at a fixed seed,
+    # so every cell of one campaign compares the same fingerprinted
+    # matrix. ``lan`` is byte-identical to no topology at all.
+    topology_name = str(params.get("topology", "lan"))
+    topology = (
+        None
+        if topology_name == "lan"
+        else topo_preset(topology_name, nodes, seed=int(params.get("topology_seed", 0)))
+    )
 
     # A targeted behaviour (FalseAccuser) needs its victim's node id
     # before bootstrap; ids depend only on (config, seed), so a probe
@@ -258,7 +268,7 @@ def run_campaign_cell(params: "Dict[str, Any]", seed: int) -> CampaignCellOutcom
         probe_ids = probe.bootstrap(nodes)
         victim = probe_ids[(deviant_index + nodes // 2) % nodes]
 
-    system = RacSystem(config, seed=seed)
+    system = RacSystem(config, seed=seed, topology=topology)
     behaviors: "Dict[int, Any]" = {}
     if spec.kind != "honest":
         behaviors[deviant_index] = spec.build(seed=seed, victim=victim)

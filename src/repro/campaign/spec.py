@@ -24,6 +24,7 @@ from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from ..freeride.registry import BEHAVIORS, UnknownBehaviorError
 from ..orchestrator.grid import SweepGrid
+from ..topo.model import PRESET_NAMES
 
 __all__ = ["CAMPAIGN_EXPERIMENT", "PLAN_NAMES", "CampaignSpec"]
 
@@ -53,6 +54,11 @@ class CampaignSpec:
     plans: "Tuple[str, ...]" = ("none", "smoke")
     loss_points: "Tuple[float, ...]" = (0.0,)
     group_sizes: "Tuple[int, ...]" = (10,)
+    #: Topology presets (:data:`repro.topo.model.PRESET_NAMES`) — the
+    #: campaign's *network-shape* axis. ``lan`` is the paper's uniform
+    #: star; non-LAN presets replay every cell under WAN delay and
+    #: heterogeneous access links.
+    topologies: "Tuple[str, ...]" = ("lan",)
     seeds: "Tuple[int, ...]" = (0,)
     horizon: float = 12.0
     detection_bound: "Optional[float]" = None
@@ -86,6 +92,14 @@ class CampaignSpec:
                 )
         if not self.group_sizes:
             raise ValueError("a campaign needs at least one group size")
+        for name in self.topologies:
+            if name not in PRESET_NAMES:
+                raise ValueError(
+                    f"unknown topology preset {name!r}; known presets: "
+                    + ", ".join(PRESET_NAMES)
+                )
+        if not self.topologies:
+            raise ValueError("a campaign needs at least one topology")
         if not self.seeds:
             raise ValueError("a campaign needs at least one seed")
         if self.horizon <= 0:
@@ -100,7 +114,7 @@ class CampaignSpec:
     def cells_per_seed(self) -> int:
         return (
             len(self.strategies) * len(self.plans) * len(self.loss_points)
-            * len(self.group_sizes)
+            * len(self.group_sizes) * len(self.topologies)
         )
 
     def __len__(self) -> int:
@@ -123,6 +137,7 @@ class CampaignSpec:
                 "plan": list(self.plans),
                 "loss": list(self.loss_points),
                 "nodes": list(self.group_sizes),
+                "topology": list(self.topologies),
             },
             seeds=self.seeds,
             base_params=base,
@@ -132,8 +147,8 @@ class CampaignSpec:
         return (
             f"campaign: {len(self.strategies)} strategies x {len(self.plans)} plans "
             f"x {len(self.loss_points)} loss points x {len(self.group_sizes)} sizes "
-            f"x {len(self.seeds)} seeds = {len(self)} cells "
-            f"(horizon {self.horizon:g}s)"
+            f"x {len(self.topologies)} topologies x {len(self.seeds)} seeds "
+            f"= {len(self)} cells (horizon {self.horizon:g}s)"
         )
 
     # -- manifest round-trip ---------------------------------------------------
@@ -143,6 +158,7 @@ class CampaignSpec:
             "plans": list(self.plans),
             "loss_points": list(self.loss_points),
             "group_sizes": list(self.group_sizes),
+            "topologies": list(self.topologies),
             "seeds": list(self.seeds),
             "horizon": self.horizon,
             "detection_bound": self.detection_bound,
@@ -157,6 +173,7 @@ class CampaignSpec:
             plans=tuple(body["plans"]),
             loss_points=tuple(body["loss_points"]),
             group_sizes=tuple(body["group_sizes"]),
+            topologies=tuple(body.get("topologies", ("lan",))),
             seeds=tuple(body["seeds"]),
             horizon=body.get("horizon", 12.0),
             detection_bound=body.get("detection_bound"),

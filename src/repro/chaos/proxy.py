@@ -65,7 +65,12 @@ class ChaosProxy:
     """
 
     def __init__(
-        self, plan: FaultPlan, node_ids: "List[int]", *, bandwidth_bps: float = 100e6
+        self,
+        plan: FaultPlan,
+        node_ids: "List[int]",
+        *,
+        bandwidth_bps: float = 100e6,
+        topology=None,
     ) -> None:
         plan.validate(len(node_ids))
         self.plan = plan
@@ -73,6 +78,22 @@ class ChaosProxy:
         #: Nominal link rate the degradation surplus is computed
         #: against (the cluster config's ``link_bandwidth_bps``).
         self.bandwidth_bps = bandwidth_bps
+        #: Optional :class:`repro.topo.model.TopologyModel`: every
+        #: allowed frame additionally pays the model's pair delay plus
+        #: the serialization surplus of its access links over
+        #: ``bandwidth_bps`` — the same arithmetic the simulator's
+        #: star realizes through its Link objects (one model, two
+        #: substrates, same fingerprint).
+        self.topology = topology
+        self._topo_slots: "Dict[int, int]" = (
+            {}
+            if topology is None
+            else {nid: topology.slot(i) for i, nid in enumerate(node_ids)}
+        )
+        #: (src, dst) → wall-clock release time of the pair's last
+        #: shaped frame; keeps topology delays FIFO per ordered pair
+        #: (frames of different sizes must not overtake each other).
+        self._release: "Dict[Tuple[int, int], float]" = {}
         self.rng = random.Random(plan.seed ^ 0xC4A05)
         self._loop: "Optional[asyncio.AbstractEventLoop]" = None
         self._epoch: "Optional[float]" = None
@@ -151,11 +172,41 @@ class ChaosProxy:
             self._hold(src, dst, frame, send, reorder.window)
             return
         delay = self._degrade_delay(src, dst, len(frame), now)
-        if delay > 0.0 and self._loop is not None:
+        if delay > 0.0:
             self._count(src, "chaos_frames_delayed")
+        if self.topology is not None:
+            shaped = self._topology_delay(src, dst, len(frame))
+            if shaped > 0.0:
+                self._count(src, "topo_frames_delayed")
+                delay += shaped
+            delay = self._fifo_clamp(src, dst, now, delay)
+        if delay > 0.0 and self._loop is not None:
             self._timers.append(self._loop.call_later(delay, send, frame))
             return
         send(frame)
+
+    def _topology_delay(self, src: int, dst: int, size: int) -> float:
+        """The model's pair delay + access-link serialization surplus
+        for one frame (payload + length prefix, matching the degrade
+        convention)."""
+        from ..topo.model import frame_shaping_delay  # local: avoids an import cycle
+
+        return frame_shaping_delay(
+            self.topology,
+            self._topo_slots.get(src, 0),
+            self._topo_slots.get(dst, 0),
+            size + 4,
+            self.bandwidth_bps,
+        )
+
+    def _fifo_clamp(self, src: int, dst: int, now: float, delay: float) -> float:
+        """Never release a frame before the pair's previous one: a big
+        frame followed by a small one must stay ordered, exactly as the
+        simulator's serializing FIFO links guarantee."""
+        key = (src, dst)
+        release = max(now + delay, self._release.get(key, 0.0))
+        self._release[key] = release
+        return release - now
 
     # -- window lookups ----------------------------------------------------
     def _partitioned(self, src: int, dst: int, now: float) -> bool:

@@ -181,12 +181,18 @@ def run_chaos_sim(
     config: "Optional[RacConfig]" = None,
     heal_bound: float = 4.0,
     traffic_interval: float = 0.25,
+    topology=None,
 ) -> ChaosOutcome:
-    """The plan on the deterministic simulator (via FaultInjector)."""
+    """The plan on the deterministic simulator (via FaultInjector).
+
+    ``topology`` optionally shapes the star with a
+    :class:`repro.topo.model.TopologyModel` (WAN delay + access
+    bandwidth); the live backend applies the same model through the
+    proxy, so a chaos scenario can be replayed per topology."""
     plan.validate(nodes)
     duration = plan.horizon if duration is None else duration
     config = config if config is not None else chaos_sim_config()
-    system = RacSystem(config, seed=seed)
+    system = RacSystem(config, seed=seed, topology=topology)
     node_ids = system.bootstrap(nodes)
     checker = InvariantChecker(node_ids, heal_bound=heal_bound)
     checker.note_plan(plan, node_ids)
@@ -244,8 +250,12 @@ async def run_chaos_live(
     heal_bound: float = 4.0,
     traffic_interval: float = 0.25,
     port_base: "Optional[int]" = None,
+    topology=None,
 ) -> ChaosOutcome:
-    """The plan over real TCP: proxy shaping + crash-restart supervision."""
+    """The plan over real TCP: proxy shaping + crash-restart supervision.
+
+    ``topology`` adds WAN delay/bandwidth shaping for every frame on
+    top of the plan's fault windows (same model the sim backend uses)."""
     plan.validate(nodes)
     duration = plan.horizon if duration is None else duration
     config = config if config is not None else chaos_live_config()
@@ -269,7 +279,7 @@ async def run_chaos_live(
     _note_planned_crashes(checker, plan, node_ids)
 
     await cluster.start()
-    supervisor = ChaosSupervisor(cluster, plan, checker=checker)
+    supervisor = ChaosSupervisor(cluster, plan, checker=checker, topology=topology)
     supervisor.start()
     clock["now"] = lambda: supervisor.proxy.now
 

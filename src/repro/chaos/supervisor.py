@@ -55,6 +55,7 @@ class ChaosSupervisor:
         plan: FaultPlan,
         *,
         checker: "Optional[InvariantChecker]" = None,
+        topology=None,
     ) -> None:
         plan.validate(len(cluster.materials))
         self.cluster = cluster
@@ -64,6 +65,7 @@ class ChaosSupervisor:
             plan,
             [m.node_id for m in cluster.materials],
             bandwidth_bps=cluster.config.link_bandwidth_bps,
+            topology=topology,
         )
         self._tasks: "List[asyncio.Task]" = []
         #: Human-readable record of what the supervisor actually did.

@@ -227,6 +227,12 @@ def build_parser() -> argparse.ArgumentParser:
     crun.add_argument("--plans", default=None, help="comma-separated fault plans (none,smoke,storm)")
     crun.add_argument("--loss", default=None, help="comma-separated link-loss intensities")
     crun.add_argument("--nodes", default=None, help="comma-separated group sizes")
+    crun.add_argument(
+        "--topologies",
+        default=None,
+        help="comma-separated topology presets (lan,wan-king,hetero-access,"
+        "planet-diurnal) — the network-shape axis (default lan)",
+    )
     crun.add_argument("--seeds", default=None, help="comma-separated seed list")
     crun.add_argument("--horizon", type=float, default=None, help="per-cell sim seconds")
     crun.add_argument(
@@ -264,6 +270,81 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit nonzero unless the baseline is sound and no cell anywhere "
         "evicted an honest node (CI smoke contract)",
+    )
+
+    topo = sub.add_parser(
+        "topo",
+        help="WAN topology models: fingerprinted latency/bandwidth presets "
+        "played on either substrate",
+    )
+    topo_sub = topo.add_subparsers(dest="topo_command", required=True)
+
+    topo_sub.add_parser("list", help="list the canned topology presets")
+
+    tshow = topo_sub.add_parser("show", help="describe one preset (fingerprint, classes)")
+    tshow.add_argument("--preset", required=True, help="preset name (see `repro topo list`)")
+    tshow.add_argument("--nodes", type=int, default=10, help="population size (default 10)")
+    tshow.add_argument("--seed", type=int, default=0, help="preset sampler seed (default 0)")
+    tshow.add_argument(
+        "--matrix", action="store_true", help="also print the full latency matrix"
+    )
+
+    trun = topo_sub.add_parser(
+        "run", help="play one topology on a substrate and judge the invariants"
+    )
+    trun.add_argument("--preset", required=True, help="preset name (see `repro topo list`)")
+    trun.add_argument(
+        "--substrate",
+        choices=("sim", "live", "both"),
+        default="sim",
+        help="where the model runs (default sim; 'both' runs it twice)",
+    )
+    trun.add_argument("--nodes", type=int, default=10, help="population size (default 10)")
+    trun.add_argument(
+        "--horizon", type=float, default=12.0, help="run seconds (default 12)"
+    )
+    trun.add_argument("--seed", type=int, default=0, help="population + traffic seed")
+    trun.add_argument(
+        "--topology-seed", type=int, default=0, help="preset sampler seed (default 0)"
+    )
+    trun.add_argument(
+        "--deviant",
+        default="honest",
+        help="behaviour registry name to plant (sim only; default honest)",
+    )
+    trun.add_argument(
+        "--timer-scale",
+        type=float,
+        default=1.0,
+        help="misbehaviour timers x this factor (sim only; default 1.0)",
+    )
+    trun.add_argument(
+        "--no-contract",
+        action="store_true",
+        help="bypass the topology timer contract (the false-positive probe)",
+    )
+    trun.add_argument(
+        "--churn",
+        action="store_true",
+        help="compile the model's diurnal churn trace onto the run",
+    )
+    trun.add_argument(
+        "--port-base",
+        type=int,
+        default=None,
+        metavar="P",
+        help="live substrate: bind node i to port P+i (default: ephemeral)",
+    )
+    trun.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero on any invariant violation (CI smoke contract)",
+    )
+
+    topo_sub.add_parser(
+        "verify",
+        help="lan-equivalence gate: the lan preset must be byte-identical "
+        "to running with no topology at all",
     )
 
     scale = sub.add_parser(
@@ -471,6 +552,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _dispatch_chaos(args)
     elif args.command == "campaign":
         return _dispatch_campaign(args)
+    elif args.command == "topo":
+        return _dispatch_topo(args)
     elif args.command == "scale":
         return _dispatch_scale(args)
     elif args.command == "pubsub":
@@ -631,6 +714,10 @@ def _dispatch_campaign(args: argparse.Namespace) -> int:
             overrides["group_sizes"] = tuple(
                 int(v) for v in args.nodes.split(",") if v != ""
             )
+        if args.topologies is not None:
+            overrides["topologies"] = tuple(
+                t for t in args.topologies.split(",") if t != ""
+            )
         if args.seeds is not None:
             overrides["seeds"] = tuple(int(s) for s in args.seeds.split(",") if s != "")
         if args.horizon is not None:
@@ -681,6 +768,84 @@ def _dispatch_campaign(args: argparse.Namespace) -> int:
                 )
                 return 1
         return 0
+    return 0
+
+
+def _dispatch_topo(args: argparse.Namespace) -> int:
+    from .topo.model import PRESET_NAMES, preset
+
+    if args.topo_command == "list":
+        from .topo.model import lan, wan_king, hetero_access, planet_diurnal
+
+        blurbs = {
+            "lan": "uniform star, zero extra delay (byte-identical to no topology)",
+            "wan-king": "king-style synthetic WAN: seeded points on a 40ms plane",
+            "hetero-access": "fiber/cable/dsl access tiers, asymmetric up/down",
+            "planet-diurnal": "three regions, inter-region delay up to ~100ms one-way",
+        }
+        for name in PRESET_NAMES:
+            print(f"{name:16s} {blurbs[name]}")
+        return 0
+
+    if args.topo_command == "show":
+        try:
+            model = preset(args.preset, args.nodes, seed=args.seed)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        print(model.describe())
+        if args.matrix:
+            print()
+            print(model.render_matrix())
+        return 0
+
+    if args.topo_command == "verify":
+        from .topo.run import lan_equivalence
+
+        plain, lan_digest = lan_equivalence()
+        if plain != lan_digest:
+            print(
+                "topo verify FAILED: lan preset diverged from the bare star\n"
+                f"  no topology: {plain}\n  lan preset : {lan_digest}"
+            )
+            return 1
+        print(f"topo verify OK: lan preset byte-identical to the bare star ({plain[:16]})")
+        return 0
+
+    # run
+    from .topo.run import run_topo_live_blocking, run_topo_sim
+
+    try:
+        model = preset(args.preset, args.nodes, seed=args.topology_seed)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    substrates = ("sim", "live") if args.substrate == "both" else (args.substrate,)
+    failed = False
+    for substrate in substrates:
+        if substrate == "sim":
+            outcome = run_topo_sim(
+                model,
+                nodes=args.nodes,
+                horizon=args.horizon,
+                seed=args.seed,
+                deviant=args.deviant,
+                timer_scale=args.timer_scale,
+                enforce_contract=not args.no_contract,
+                churn=args.churn,
+            )
+        else:
+            outcome = run_topo_live_blocking(
+                model,
+                nodes=args.nodes,
+                horizon=args.horizon,
+                seed=args.seed,
+                churn=args.churn,
+                port_base=args.port_base,
+            )
+        print(outcome.render())
+        failed = failed or not outcome.ok
+    if args.check and failed:
+        print("topo run FAILED: invariant violation(s) above")
+        return 1
     return 0
 
 

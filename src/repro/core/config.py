@@ -10,9 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..simnet.network import GBPS
+from ..simnet.network import DEFAULT_PROPAGATION_DELAY, GBPS
 
-__all__ = ["RacConfig", "validate_timers"]
+__all__ = ["RacConfig", "TopologyTimerError", "validate_timers", "validate_topology_timers"]
 
 
 @dataclass
@@ -247,3 +247,73 @@ def validate_timers(config: RacConfig, interval: float) -> None:
                 f"retransmission budget on a lossy network; need at least "
                 f"4 * transport_rto_initial = {recovery:.4g}s"
             )
+
+
+class TopologyTimerError(ValueError):
+    """Timers that cannot survive the topology's worst-case path.
+
+    The analogue of :func:`validate_timers` for WAN models: on a LAN
+    every copy arrives within microseconds of its serialization, but
+    under a per-pair latency matrix a perfectly honest relay on the
+    slowest path can take worst-RTT + serialization longer than the
+    ideal. A misbehaviour timer below that slack *will* convict honest
+    nodes; raising a typed error at bootstrap beats silently evicting
+    whoever happens to live farthest away.
+    """
+
+
+def validate_topology_timers(config: RacConfig, model, interval: float) -> None:
+    """Reject (config, topology) pairs whose timers the WAN can break.
+
+    ``model`` is a :class:`repro.topo.model.TopologyModel` (typed loosely
+    to keep the config module dependency-free). The contract extends
+    the LAN rules with the model's worst-case figures:
+
+    * both misbehaviour timers must dominate their LAN floor *plus* the
+      worst round trip and two full-message serializations on the
+      slowest access links (the accusation path is a round trip of
+      message-sized copies);
+    * the ARQ's RTO clamp must sit above the worst round trip, or every
+      packet on the slowest pair is retransmitted forever on a healthy
+      network;
+    * the retry budget must cover several worst-case round trips, or a
+      single congested window reads as an unreachable peer.
+    """
+    worst_rtt = model.worst_rtt() + 2 * DEFAULT_PROPAGATION_DELAY
+    one_way_ser = model.worst_one_way_serialization(
+        config.message_size, config.link_bandwidth_bps
+    )
+    slack = worst_rtt + 2 * one_way_ser
+
+    min_relay = (config.num_relays + 2) * interval + slack
+    if config.relay_timeout < min_relay:
+        raise TopologyTimerError(
+            f"relay_timeout={config.relay_timeout}s cannot cover an "
+            f"L={config.num_relays} onion on topology {model.name!r}: worst "
+            f"RTT {worst_rtt * 1e3:.1f} ms + serialization "
+            f"{2 * one_way_ser * 1e3:.1f} ms on the slowest access links "
+            f"needs at least {min_relay:.4g}s"
+        )
+    min_pred = 2 * interval + slack
+    if config.predecessor_timeout < min_pred:
+        raise TopologyTimerError(
+            f"predecessor_timeout={config.predecessor_timeout}s is below the "
+            f"topology {model.name!r} floor of {min_pred:.4g}s (two origination "
+            f"intervals + worst RTT + serialization); distant ring copies "
+            f"would convict honest predecessors"
+        )
+    rto_floor = worst_rtt + 2 * one_way_ser
+    if config.transport_rto_max < rto_floor:
+        raise TopologyTimerError(
+            f"transport_rto_max={config.transport_rto_max}s is below topology "
+            f"{model.name!r}'s worst acked round trip ({rto_floor:.4g}s); the "
+            f"ARQ would retransmit healthy paths forever"
+        )
+    retry_budget = config.transport_max_retries * config.transport_rto_max
+    if retry_budget < 4 * rto_floor:
+        raise TopologyTimerError(
+            f"ARQ retry budget {retry_budget:.4g}s "
+            f"({config.transport_max_retries} x rto_max) does not dominate "
+            f"topology {model.name!r}'s worst round trip; need at least "
+            f"4 x {rto_floor:.4g}s before a slow path reads as a dead peer"
+        )

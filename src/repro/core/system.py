@@ -41,7 +41,7 @@ from ..simnet.stats import LatencyMeter, StatsRegistry, ThroughputMeter, engine_
 from ..simnet.trace import Tracer
 from ..simnet.transport import ReliableTransport
 from ..crypto.shuffle import ShuffleParticipant, run_shuffle
-from .config import RacConfig, validate_timers
+from .config import RacConfig, validate_timers, validate_topology_timers
 from .identity import generate_node_material
 from .messages import DomainId, JoinRequest
 from .node import RacNode
@@ -59,11 +59,26 @@ class RacSystem:
     is the asyncio/TCP-backed one.
     """
 
-    def __init__(self, config: "RacConfig | None" = None, seed: int = 0) -> None:
+    def __init__(
+        self,
+        config: "RacConfig | None" = None,
+        seed: int = 0,
+        topology=None,
+        enforce_topology_timers: bool = True,
+    ) -> None:
+        """``topology`` is an optional :class:`repro.topo.model.TopologyModel`
+        shaping the star network (per-node access bandwidth, per-pair
+        delay); None — or the byte-identical ``lan`` preset — keeps the
+        paper's ideal star. ``enforce_topology_timers=False`` skips the
+        topology timer contract (:func:`repro.core.config
+        .validate_topology_timers`) so experiments can *measure* the
+        false-eviction region the contract exists to forbid."""
         self.config = config if config is not None else RacConfig()
         self.rng = random.Random(seed)
         self.sim = Simulator()
         self.stats = StatsRegistry()
+        self.topology = topology
+        self._enforce_topology_timers = enforce_topology_timers
         self.faults = FaultInjector(
             self.sim, seed=seed ^ 0x5EED, loss_rate=self.config.link_loss_rate
         )
@@ -73,6 +88,7 @@ class RacSystem:
             propagation_jitter=self.config.propagation_jitter,
             jitter_seed=seed,
             faults=self.faults,
+            topology=topology,
         )
         self.transport = ReliableTransport(
             self.network,
@@ -262,6 +278,14 @@ class RacSystem:
         report["net_bytes_dropped"] = self.network.bytes_dropped
         for reason, count in sorted(self.network.drops_by_reason.items()):
             report[f"net_dropped_{reason}"] = count
+        # Per-pair visibility: which ordered path lost packets, and how
+        # much topology delay each shaped pair accumulated (µs, so the
+        # report stays integer-valued). Empty on a clean LAN run.
+        for (src, dst), count in sorted(self.network.pair_drops.items()):
+            report[f"net_pair_drop_{src}->{dst}"] = count
+        for (src, dst), (packets, seconds) in sorted(self.network.pair_delays.items()):
+            report[f"net_pair_delay_us_{src}->{dst}"] = int(round(seconds * 1e6))
+            report[f"net_pair_delayed_{src}->{dst}"] = packets
         report.update(engine_counters(self.sim))
         return report
 
@@ -288,8 +312,12 @@ class RacSystem:
 
     def _validate_timers(self, population: int) -> None:
         """Reject configurations whose timers cannot work (see
-        :func:`repro.core.config.validate_timers`)."""
-        validate_timers(self.config, self.send_interval_for(next(iter(self.nodes))))
+        :func:`repro.core.config.validate_timers`), including the
+        topology contract when a WAN model is plugged in."""
+        interval = self.send_interval_for(next(iter(self.nodes)))
+        validate_timers(self.config, interval)
+        if self.topology is not None and self._enforce_topology_timers:
+            validate_topology_timers(self.config, self.topology, interval)
 
     def join(self, behavior=None) -> int:
         """One node joins a running system via the Section IV-C handshake.

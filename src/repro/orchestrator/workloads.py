@@ -453,6 +453,44 @@ def pubsub_point(params: "Dict[str, Any]", seed: int, ctx: WorkerContext) -> "Di
     }
 
 
+@workload("topo_point")
+def topo_point(params: "Dict[str, Any]", seed: int, ctx: WorkerContext) -> "Dict[str, float]":
+    """One topology run on the sim substrate, sweepable per preset.
+
+    Parameters: ``topology`` (preset name, ``lan`` default),
+    ``topology_seed`` (preset sampler seed, fixed 0 default so one
+    sweep compares one fingerprinted matrix), ``nodes``, ``horizon``,
+    ``deviant`` (behaviour registry name or ``honest``),
+    ``timer_scale`` (misbehaviour timers × factor),
+    ``enforce_contract`` (0 bypasses the topology timer floor — the
+    false-positive-onset probe), ``churn`` (1 compiles the model's
+    diurnal churn trace), ``rate_schedule`` (``diurnal`` or absent).
+    Deterministic in ``(params, seed)``; not checkpointable (cells are
+    short), so a crashed attempt simply reruns.
+    """
+    from ..topo.model import preset
+    from ..topo.run import run_topo_sim
+
+    model = preset(
+        str(params.get("topology", "lan")),
+        int(params.get("nodes", 10)),
+        seed=int(params.get("topology_seed", 0)),
+    )
+    outcome = run_topo_sim(
+        model,
+        nodes=int(params.get("nodes", 10)),
+        horizon=float(params.get("horizon", 12.0)),
+        seed=seed,
+        deviant=str(params.get("deviant", "honest")),
+        timer_scale=float(params.get("timer_scale", 1.0)),
+        enforce_contract=bool(int(params.get("enforce_contract", 1))),
+        churn=bool(int(params.get("churn", 0))),
+        rate_schedule=params.get("rate_schedule"),
+    )
+    ctx.maybe_crash()
+    return outcome.metrics()
+
+
 @workload("campaign_point")
 def campaign_point(params: "Dict[str, Any]", seed: int, ctx: WorkerContext) -> "Dict[str, float]":
     """One adversarial-campaign cell: strategy × fault plan × loss point.

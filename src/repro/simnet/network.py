@@ -23,10 +23,13 @@ their declared wire size.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 
 from .engine import SimulationError, Simulator
 from .faults import FaultInjector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (topo uses nothing from simnet)
+    from ..topo.model import TopologyModel
 
 __all__ = ["Packet", "Link", "StarNetwork", "GBPS", "DEFAULT_PROPAGATION_DELAY"]
 
@@ -63,7 +66,15 @@ class Link:
     without per-byte events.
     """
 
-    __slots__ = ("sim", "bandwidth_bps", "busy_until", "bytes_carried", "packets_carried", "rate_factor")
+    __slots__ = (
+        "sim",
+        "bandwidth_bps",
+        "busy_until",
+        "bytes_carried",
+        "packets_carried",
+        "busy_seconds",
+        "rate_factor",
+    )
 
     def __init__(self, sim: Simulator, bandwidth_bps: float) -> None:
         if bandwidth_bps <= 0:
@@ -73,6 +84,12 @@ class Link:
         self.busy_until = 0.0
         self.bytes_carried = 0
         self.packets_carried = 0
+        #: Seconds this link has spent (or is committed to spend)
+        #: serializing, accumulated per transfer at the rate the
+        #: transfer actually got. ``bytes_carried / bandwidth_bps``
+        #: undercounts whenever ``rate_factor`` dipped mid-run, so
+        #: utilization is accounted in time, not bytes.
+        self.busy_seconds = 0.0
         #: Fault-injection hook: the effective rate is ``bandwidth_bps *
         #: rate_factor``. 1.0 is a healthy link; degradation windows
         #: (:class:`repro.simnet.faults.FaultInjector`) scale it down.
@@ -82,11 +99,19 @@ class Link:
         return size_bytes * 8 / (self.bandwidth_bps * self.rate_factor)
 
     def utilization(self) -> float:
-        """Fraction of elapsed time this link spent transmitting."""
+        """Fraction of elapsed time this link spent transmitting.
+
+        Counts committed serialization *time* (each transfer at its
+        effective, possibly degraded rate) minus the backlog still
+        scheduled beyond ``now``, so a link that ran at half rate for a
+        while reports the busy share it really had rather than the
+        byte count divided by the nominal bandwidth.
+        """
         if self.sim.now <= 0:
             return 0.0
-        busy = min(self.busy_until, self.sim.now)
-        return min(1.0, (self.bytes_carried * 8 / self.bandwidth_bps) / self.sim.now) if busy else 0.0
+        pending = max(0.0, self.busy_until - self.sim.now)
+        busy = max(0.0, self.busy_seconds - pending)
+        return min(1.0, busy / self.sim.now)
 
     def enqueue(self, size_bytes: int, deliver: Callable[..., None], *args: Any) -> float:
         """Schedule ``deliver(*args)`` for when the last byte leaves the
@@ -101,6 +126,7 @@ class Link:
         self.busy_until = departure
         self.bytes_carried += size_bytes
         self.packets_carried += 1
+        self.busy_seconds += departure - start
         self.sim.schedule_at(departure, deliver, *args)
         return departure
 
@@ -126,13 +152,20 @@ class StarNetwork:
         propagation_jitter: float = 0.0,
         jitter_seed: int = 0,
         faults: "Optional[FaultInjector]" = None,
+        topology: "Optional[TopologyModel]" = None,
     ) -> None:
         """``propagation_jitter`` adds a uniform [0, jitter] extra delay
         per packet — the step beyond the paper's ideal network that the
         robustness tests use (timers must tolerate real variance).
         ``faults`` plugs in packet loss / outages / partitions / link
         degradation (:class:`repro.simnet.faults.FaultInjector`); None
-        keeps the paper's lossless router."""
+        keeps the paper's lossless router. ``topology`` plugs in a WAN
+        model (:class:`repro.topo.model.TopologyModel`): per-node access
+        bandwidth sizes each attached Link, and the model's pair delay
+        is added when scheduling router→downlink propagation. None (or
+        the ``lan`` preset, whose delays are all zero and whose access
+        classes inherit ``bandwidth_bps``) reproduces the paper's star
+        byte for byte."""
         import random as _random
 
         if propagation_jitter < 0:
@@ -145,6 +178,12 @@ class StarNetwork:
         self.faults = faults
         if faults is not None:
             faults.bind(self)
+        self.topology = topology
+        #: node_id → topology slot, assigned in attach (creation) order —
+        #: the same index convention fault plans use. A node that
+        #: detaches and re-attaches (crash restart) keeps its slot.
+        self._topo_slots: Dict[int, int] = {}
+        self._attach_count = 0
         self.uplinks: Dict[int, Link] = {}
         self.downlinks: Dict[int, Link] = {}
         self._handlers: Dict[int, Callable[[Packet], None]] = {}
@@ -156,15 +195,36 @@ class StarNetwork:
         #: "detached". Loss would otherwise be invisible to summaries —
         #: only deliveries used to be counted.
         self.drops_by_reason: Dict[str, int] = {}
+        #: (src, dst) → drops on that ordered pair; which path loses
+        #: traffic matters once pairs stop being interchangeable.
+        self.pair_drops: Dict[Tuple[int, int], int] = {}
+        #: (src, dst) → (packets shaped, total topology delay seconds);
+        #: only populated when a topology adds nonzero pair delay.
+        self.pair_delays: Dict[Tuple[int, int], "list"] = {}
 
     # -- membership ----------------------------------------------------------
     def attach(self, node_id: int, handler: Callable[[Packet], None]) -> None:
         """Connect a node to the router and register its receive handler."""
         if node_id in self._handlers:
             raise ValueError(f"node {node_id} is already attached")
-        self.uplinks[node_id] = Link(self.sim, self.bandwidth_bps)
-        self.downlinks[node_id] = Link(self.sim, self.bandwidth_bps)
+        up_bps = down_bps = self.bandwidth_bps
+        if self.topology is not None:
+            slot = self._topo_slots.get(node_id)
+            if slot is None:
+                # A newcomer takes the next creation index; a re-attach
+                # (crash restart) keeps its old slot and must not burn
+                # a fresh one.
+                slot = self._topo_slots[node_id] = self.topology.slot(self._attach_count)
+                self._attach_count += 1
+            up_bps = self.topology.up_bps(slot, self.bandwidth_bps)
+            down_bps = self.topology.down_bps(slot, self.bandwidth_bps)
+        self.uplinks[node_id] = Link(self.sim, up_bps)
+        self.downlinks[node_id] = Link(self.sim, down_bps)
         self._handlers[node_id] = handler
+
+    def topology_slot(self, node_id: int) -> "Optional[int]":
+        """The node's topology slot (None when no topology is set)."""
+        return self._topo_slots.get(node_id)
 
     def detach(self, node_id: int) -> None:
         """Disconnect a node; packets in flight to it are dropped."""
@@ -207,6 +267,8 @@ class StarNetwork:
         self.packets_dropped += 1
         self.bytes_dropped += packet.size_bytes
         self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
+        pair = (packet.src, packet.dst)
+        self.pair_drops[pair] = self.pair_drops.get(pair, 0) + 1
 
     def _at_router(self, packet: Packet) -> None:
         downlink = self.downlinks.get(packet.dst)
@@ -222,6 +284,18 @@ class StarNetwork:
         delay = self.propagation_delay
         if self.propagation_jitter:
             delay += self._jitter_rng.uniform(0, self.propagation_jitter)
+        if self.topology is not None:
+            extra = self.topology.pair_delay(
+                self._topo_slots.get(packet.src, 0), self._topo_slots.get(packet.dst, 0)
+            )
+            if extra:
+                delay += extra
+                pair = (packet.src, packet.dst)
+                entry = self.pair_delays.get(pair)
+                if entry is None:
+                    entry = self.pair_delays[pair] = [0, 0.0]
+                entry[0] += 1
+                entry[1] += extra
         # The downlink is captured *now* (router time): a destination
         # that detaches during propagation still had its link absorb the
         # transfer, and _deliver then counts the drop. Passed as an event

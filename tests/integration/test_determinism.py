@@ -49,9 +49,9 @@ class _RecordingSystem(RacSystem):
         super().unicast(src, dst, payload, size_bytes)
 
 
-def run_fingerprint(backend: str) -> str:
+def run_fingerprint(backend: str, topology=None) -> str:
     config = RacConfig.small(trace=True, key_backend=backend)
-    system = _RecordingSystem(config, seed=1234)
+    system = _RecordingSystem(config, seed=1234, topology=topology)
     count = 10 if backend == "sim" else 6
     nodes = system.bootstrap(count)
     system.run(1.0)
@@ -82,6 +82,15 @@ def test_dh_backend_run_is_byte_identical_to_seed():
 
 def test_fingerprint_is_stable_across_runs():
     assert run_fingerprint("sim") == run_fingerprint("sim")
+
+
+def test_lan_topology_preset_is_byte_identical_to_bare_star():
+    """The ``lan`` preset (zero delays, inherited bandwidth) must not
+    move a single wire byte or event relative to running with no
+    topology at all — the pinned seed digest doubles as the gate."""
+    from repro.topo.model import lan
+
+    assert run_fingerprint("sim", topology=lan(10)) == EXPECTED_SIM
 
 
 # ---------------------------------------------------------------------------

@@ -195,3 +195,37 @@ class TestFrontier:
         assert point.cells == 3
         assert point.detection_required == 3
         assert point.mean_detection_time == pytest.approx(5.0)
+
+
+class TestTopologyAxis:
+    def test_unknown_topology_rejected_with_the_valid_names(self):
+        with pytest.raises(ValueError, match="wan-king"):
+            CampaignSpec(topologies=("metroplex",))
+        with pytest.raises(ValueError):
+            CampaignSpec(topologies=())
+
+    def test_topology_axis_multiplies_the_grid(self):
+        base = CampaignSpec.smoke()
+        spec = dataclasses.replace(base, topologies=("lan", "wan-king"))
+        assert len(spec) == 2 * len(base)
+        cells = spec.to_grid().cells()
+        assert {c.params_dict["topology"] for c in cells} == {"lan", "wan-king"}
+
+    def test_dict_round_trip_keeps_topologies(self):
+        spec = dataclasses.replace(CampaignSpec.smoke(), topologies=("lan", "hetero-access"))
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+    def test_frontier_folds_per_topology(self):
+        store = ResultStore()
+        clean = _record("forward-dropper", "none", 0.0)
+        wan = _record("forward-dropper", "none", 0.0, seed=1, honest_evictions=1.0)
+        wan.params["topology"] = "wan-king"
+        store.append(clean)
+        store.append(wan)
+        report = build_frontier(store)
+        assert len(report.frontiers) == 2
+        by_topo = {f.topology: f for f in report.frontiers}
+        assert by_topo["lan"].false_positive_onset is None
+        assert by_topo["wan-king"].false_positive_onset == 0.0
+        assert "on wan-king" in by_topo["wan-king"].describe()
+        assert "topology" in report.render()

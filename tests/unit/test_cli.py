@@ -264,3 +264,38 @@ class TestScale:
         assert (run_dir / "profile" / "shard000.prof").exists()
         assert (run_dir / "profile" / "shard001.prof").exists()
         assert (run_dir / "profile" / "shard000.epoch000.prof").exists()
+
+
+class TestTopo:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["topo", "run", "--preset", "wan-king"])
+        assert args.substrate == "sim"
+        assert args.nodes == 10
+        assert args.timer_scale == pytest.approx(1.0)
+
+    def test_list_names_every_preset(self, capsys):
+        assert main(["topo", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("lan", "wan-king", "hetero-access", "planet-diurnal"):
+            assert name in out
+
+    def test_show_prints_matrix_and_fingerprint(self, capsys):
+        assert main(["topo", "show", "--preset", "wan-king", "--nodes", "4", "--matrix"]) == 0
+        out = capsys.readouterr().out
+        assert "fingerprint" in out
+        assert "slot" in out
+
+    def test_verify_reports_lan_equivalence(self, capsys):
+        assert main(["topo", "verify"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_run_sim_with_check_passes_on_wan(self, capsys):
+        code = main(
+            [
+                "topo", "run", "--preset", "wan-king", "--nodes", "6",
+                "--horizon", "6", "--check",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "wan-king" in out

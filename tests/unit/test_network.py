@@ -180,3 +180,36 @@ class TestStarNetwork:
         sim.run()
         # Uplink at half rate: 20 ms; downlink untouched: 10 ms.
         assert arrival[0] == pytest.approx(0.030 + DEFAULT_PROPAGATION_DELAY)
+
+    def test_utilization_counts_time_not_bytes_under_degradation(self):
+        # A transfer at half rate occupies the link twice as long;
+        # utilization must report that real busy share, not
+        # bytes_carried / nominal_bandwidth (which undercounts).
+        sim = Simulator()
+        faults = FaultInjector(sim, seed=0)
+        net = StarNetwork(sim, bandwidth_bps=1_000_000, faults=faults)
+        net.attach(1, lambda p: None)
+        net.attach(2, lambda p: None)
+        faults.schedule_degradation(1, at=0.0, duration=10.0, factor=0.5, direction="up")
+        sim.run(until=1e-9)
+        net.send(1, 2, "x", 12_500)  # 0.1 s nominal -> 0.2 s at half rate
+        sim.run()
+        link = net.uplinks[1]
+        assert link.busy_seconds == pytest.approx(0.2)
+        assert link.utilization() == pytest.approx(0.2 / sim.now)
+        # The byte-count estimate would have claimed half that.
+        assert link.bytes_carried * 8 / link.bandwidth_bps == pytest.approx(0.1)
+
+    def test_pair_drop_counters_attribute_loss_to_the_path(self):
+        sim = Simulator()
+        faults = FaultInjector(sim, seed=5, loss_rate=0.5)
+        net = StarNetwork(sim, bandwidth_bps=1_000_000, faults=faults)
+        for nid in (1, 2, 3):
+            net.attach(nid, lambda p: None)
+        for _ in range(30):
+            net.send(1, 2, "x", 10)
+            net.send(3, 2, "x", 10)
+        sim.run()
+        assert sum(net.pair_drops.values()) == net.packets_dropped
+        assert set(net.pair_drops) <= {(1, 2), (3, 2)}
+        assert net.packets_dropped > 0
