@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-baseline ci-bench-smoke sweep-smoke live-smoke chaos-smoke campaign-smoke scale-smoke pubsub-smoke topo-smoke report examples ci clean
+.PHONY: install test bench bench-baseline ci-bench-smoke sweep-smoke live-smoke chaos-smoke campaign-smoke coalition-smoke scale-smoke pubsub-smoke topo-smoke report examples ci clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -46,6 +46,12 @@ campaign-smoke:  # 2 strategies x 2 fault plans x 1 loss point, pool + injected 
 		--spec smoke --workers 2 --inject-crash 1
 	PYTHONPATH=src $(PYTHON) -m repro campaign report --run-dir results/campaign_smoke --check
 
+coalition-smoke:  # 2 coordinated strategies x {none, storm}, 2-member sub-f*G coalition, crash-resumed
+	rm -rf results/coalition_smoke
+	PYTHONPATH=src $(PYTHON) -m repro campaign run --run-dir results/coalition_smoke \
+		--spec coalition-smoke --workers 2 --inject-crash 1
+	PYTHONPATH=src $(PYTHON) -m repro campaign report --run-dir results/coalition_smoke --check
+
 scale-smoke:  # sharded N=64 on 2 workers == monolithic; pool and serial fingerprints identical
 	rm -rf results/scale_smoke
 	PYTHONPATH=src $(PYTHON) -m repro scale run --run-dir results/scale_smoke/pool \
@@ -77,6 +83,7 @@ ci:  # what .github/workflows/ci.yml runs
 	$(MAKE) live-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) campaign-smoke
+	$(MAKE) coalition-smoke
 	$(MAKE) scale-smoke
 	$(MAKE) pubsub-smoke
 	$(MAKE) topo-smoke

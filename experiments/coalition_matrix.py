@@ -1,0 +1,237 @@
+#!/usr/bin/env python
+"""Coalition accountability matrix — this PR's committed artifact.
+
+Runs the coalition campaign (``CampaignSpec.coalition()``: shield /
+frame / stagger coalitions x {none, storm} fault plans x colluding
+fractions sweeping toward and past the paper's f*G bound, >=10 shuffle
+rounds per cell) through the checkpointed pool, folds the results into
+the coalition frontier, and appends the sharded-simulator evidence:
+N=256 coalition cells on 8 shards whose planted members span several
+group bundles, with a clean no-coalition control.
+
+The acceptance gates (exit 1 on violation):
+
+* every sub-f*G cell is SOUND — zero honest evictions on every plan,
+  zero missed detections on the clean plan (storm may stretch
+  conviction latency below the bound; that is reported, not fatal);
+* at least one *above*-bound breakdown is measured — the matrix must
+  demonstrate where accountability actually stops, not just that it
+  holds where the paper promises it;
+* at N=256 the no-coalition control evicts nobody, the shield
+  coalition's eviction set is exactly its member set, and the members
+  span >= 2 shard bundles (the cross-shard consistency contract,
+  DESIGN.md §17).
+
+One sharded cell is reported but deliberately *not* gated: shield
+under a full-density storm at N=256. There the relay-blame heuristic
+("blame the first silent relay") charges honest relays for onions cut
+down by partitions and crash windows, and because relay blacklists
+are persistent the spurious accusations accumulate across shuffle
+rounds until they complete a quorum no matter how much f-headroom the
+threshold has. That is a measured robustness limit of the paper's
+accountability design at scale, recorded in the artifact and in
+ROADMAP (item 5 headroom), not an experiment-script bug.
+
+Writes ``results/coalition_frontier.txt`` — committed so reviewers can
+diff the frontier without re-running ~25 minutes of simulation.
+
+Usage:
+    python experiments/coalition_matrix.py                 # full matrix
+    python experiments/coalition_matrix.py --smoke         # CI-sized
+    python experiments/coalition_matrix.py --skip-sharded  # matrix only
+"""
+
+import argparse
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.campaign import CampaignSpec, build_frontier, run_campaign
+from repro.orchestrator import ResultStore
+from repro.orchestrator.pool import STORE_NAME
+
+
+def sharded_evidence() -> "tuple[str, int]":
+    """The N=256 sharded coalition cells; returns (report text, failures).
+
+    The scale preset keeps ``relay_timeout`` at the theoretical minimum
+    (L+2 origination slots); at N=256 that deadline is tight enough for
+    one honest relay's re-broadcast to land late, so the evidence cells
+    double it — the control run below proves the loosened deadline
+    evicts nobody. The storm cell raises every misbehaviour timer
+    above the storm plan's healing windows (``build_fault_plan``
+    enforces this) and the quorum to f=0.25, and is reported as a
+    measured limit rather than gated: persistent relay blacklists let
+    partition-induced spurious blame accumulate across rounds until
+    honest quorums complete (see module docstring).
+    """
+    from repro.groups import plan_bundles, snapshot_groups
+    from repro.orchestrator.sharded import run_sharded
+    from repro.simnet.shard import ScaleSpec, plan_population
+
+    members = [8, 72, 136, 200]
+    clean_cfg = {"relay_timeout": 2.0}
+    storm_cfg = {
+        "relay_timeout": 4.0,
+        "predecessor_timeout": 4.0,
+        "rate_window": 4.0,
+        "assumed_opponent_fraction": 0.25,
+    }
+    cells = [
+        ("control: no coalition",
+         ScaleSpec(nodes=256, num_shards=8, seed=3, horizon=6.0,
+                   config=clean_cfg)),
+        ("shield coalition, 4 members",
+         ScaleSpec(nodes=256, num_shards=8, seed=3, horizon=6.0,
+                   config=clean_cfg,
+                   coalition={"mode": "shield", "members": members})),
+        ("shield under full-density storm, f=0.25 quorum (ungated limit)",
+         ScaleSpec(nodes=256, num_shards=8, seed=3, horizon=14.0,
+                   config=storm_cfg, plan="storm",
+                   coalition={"mode": "shield", "members": members})),
+    ]
+
+    lines = ["sharded coalition evidence (N=256, 8 shards, serial)"]
+    failures = 0
+    for label, spec in cells:
+        _config, materials, directory = plan_population(spec)
+        member_ids = {materials[i - 1].node_id for i in members}
+        gid_of = {
+            m.node_id: directory.group_for_id(m.node_id).gid
+            for m in materials
+        }
+        bundles = plan_bundles(snapshot_groups(directory), spec.num_shards)
+        bundle_of = {
+            g.gid: k for k, bundle in enumerate(bundles) for g in bundle
+        }
+        spanned = {bundle_of[gid_of[n]] for n in member_ids}
+
+        with tempfile.TemporaryDirectory(prefix="coalition-shard-") as d:
+            outcome = run_sharded(spec, d, serial=True)
+        evicted = {int(k) for k in outcome.evicted}
+        convicted = len(evicted & member_ids)
+        honest = len(evicted - member_ids)
+
+        if spec.plan == "storm":
+            # Ungated measurement: persistent spurious blame under a
+            # full-density storm completes honest quorums (see above).
+            tag = "limit"
+            ok = True
+            verdict = (
+                f"{convicted}/{len(members)} members convicted, "
+                f"{honest} honest evictions from storm-accumulated blame"
+            )
+        elif spec.coalition is None:
+            ok = not evicted
+            tag = "ok" if ok else "FAIL"
+            verdict = "clean" if ok else f"{len(evicted)} spurious evictions"
+        else:
+            ok = evicted == member_ids
+            tag = "ok" if ok else "FAIL"
+            verdict = (
+                f"eviction set == member set ({convicted}/{len(members)})"
+                if ok
+                else f"{convicted}/{len(members)} convicted, {honest} honest"
+            )
+        if spec.coalition is not None and len(spanned) < 2:
+            ok = False
+            tag = "FAIL"
+            verdict += "; members do not span >= 2 bundles"
+        if not ok:
+            failures += 1
+        lines.append(
+            f"  [{tag}] {label}: {verdict}; "
+            f"members span {len(spanned)} bundles; "
+            f"{len(outcome.delivered)} deliveries"
+        )
+    lines.append(
+        "  (sharded-vs-monolithic eviction equivalence at N=64 is pinned by"
+    )
+    lines.append(
+        "   tests/integration/test_sharded_equivalence.py::"
+        "TestCoalitionEquivalence)"
+    )
+    return "\n".join(lines), failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers", type=int, default=max(2, min(4, os.cpu_count() or 2))
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized spec, no sharded cells (~1 min)",
+    )
+    parser.add_argument(
+        "--skip-sharded", action="store_true",
+        help="skip the N=256 sharded evidence cells",
+    )
+    parser.add_argument("--inject-crash", type=int, default=None)
+    parser.add_argument(
+        "--run-dir", default=None,
+        help="campaign directory (default: fresh temp dir)",
+    )
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "results" / "coalition_frontier.txt")
+    )
+    args = parser.parse_args()
+
+    spec = CampaignSpec.coalition_smoke() if args.smoke else CampaignSpec.coalition()
+    inject = args.inject_crash if args.inject_crash is not None else (1 if args.smoke else 0)
+    print(spec.describe())
+
+    def execute(run_dir: str) -> int:
+        status = run_campaign(
+            spec, run_dir, workers=args.workers, inject_crash=inject
+        )
+        print(status.render())
+        if not status.done or status.failed:
+            print("campaign did not complete cleanly", file=sys.stderr)
+            return 1
+        store = ResultStore(os.path.join(run_dir, STORE_NAME))
+        report = build_frontier(store)
+        body = spec.describe() + "\n\n" + report.render()
+
+        failures = 0
+        if report.coalition is None:
+            print("no coalition cells in the store", file=sys.stderr)
+            failures += 1
+        else:
+            if not report.coalition.sub_bound_sound:
+                print("sub-f*G coalition cells are not sound", file=sys.stderr)
+                failures += 1
+            if not args.smoke and not report.coalition.breakdowns:
+                print(
+                    "no above-bound breakdown measured — the matrix must "
+                    "sweep past f*G",
+                    file=sys.stderr,
+                )
+                failures += 1
+        if not report.baseline_ok:
+            print("baseline gate failed", file=sys.stderr)
+            failures += 1
+
+        if not args.smoke and not args.skip_sharded:
+            sharded_body, sharded_failures = sharded_evidence()
+            body += "\n\n" + sharded_body
+            failures += sharded_failures
+
+        print(body)
+        Path(args.output).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.output).write_text(body + "\n")
+        print(f"\nwrote {args.output}")
+        return 1 if failures else 0
+
+    if args.run_dir:
+        return execute(args.run_dir)
+    with tempfile.TemporaryDirectory(prefix="coalition-matrix-") as run_dir:
+        return execute(run_dir)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,22 +16,36 @@ Entry points: ``repro campaign run|status|report`` (CLI),
 ``make campaign-smoke`` (CI).
 """
 
-from .frontier import CellAggregate, FrontierReport, StrategyFrontier, build_frontier
+from .frontier import (
+    DEFAULT_BLACKLIST_POLLUTION_THRESHOLD,
+    CellAggregate,
+    CoalitionAggregate,
+    CoalitionFrontier,
+    CoalitionReport,
+    FrontierReport,
+    StrategyFrontier,
+    build_frontier,
+)
 from .runner import campaign_report, campaign_status, load_campaign, run_campaign
 from .scoring import (
     CampaignCellOutcome,
     build_campaign_plan,
     campaign_config,
+    plan_coalition_indices,
     run_campaign_cell,
 )
 from .spec import CAMPAIGN_EXPERIMENT, PLAN_NAMES, CampaignSpec
 
 __all__ = [
     "CAMPAIGN_EXPERIMENT",
+    "DEFAULT_BLACKLIST_POLLUTION_THRESHOLD",
     "PLAN_NAMES",
     "CampaignSpec",
     "CampaignCellOutcome",
     "CellAggregate",
+    "CoalitionAggregate",
+    "CoalitionFrontier",
+    "CoalitionReport",
     "FrontierReport",
     "StrategyFrontier",
     "build_campaign_plan",
@@ -40,6 +54,7 @@ __all__ = [
     "campaign_report",
     "campaign_status",
     "load_campaign",
+    "plan_coalition_indices",
     "run_campaign",
     "run_campaign_cell",
 ]

@@ -47,6 +47,7 @@ from ..chaos.plan import FaultPlan, smoke_plan, storm_plan
 from ..chaos.run import final_blacklists, note_planned_crashes
 from ..core.config import RacConfig
 from ..core.system import RacSystem
+from ..freeride.coalition import build_coalition
 from ..freeride.registry import BEHAVIORS, UnknownBehaviorError
 from ..topo.model import preset as topo_preset
 
@@ -55,6 +56,7 @@ __all__ = [
     "DEFAULT_HEAL_BOUND",
     "campaign_config",
     "build_campaign_plan",
+    "plan_coalition_indices",
     "CampaignCellOutcome",
     "run_campaign_cell",
 ]
@@ -115,6 +117,36 @@ def campaign_config(loss: float = 0.0, **overrides) -> RacConfig:
     return RacConfig(**base)
 
 
+def plan_coalition_indices(nodes: int, size: int) -> "Tuple[int, ...]":
+    """Creation indices for a planted coalition of ``size`` members.
+
+    Members are spread evenly around the creation order starting from
+    :data:`DEFAULT_DEVIANT_INDEX` — a coalition of one lands exactly on
+    the single-deviant slot, and larger coalitions occupy distinct ring
+    positions (rather than a contiguous run) so their relay exposure
+    matches what random placement would give. Deterministic in
+    ``(nodes, size)`` so the monolithic and sharded paths agree.
+    """
+    if size < 1:
+        raise ValueError("a coalition needs at least one member")
+    if size >= nodes:
+        raise ValueError(
+            f"coalition of {size} cannot fit a population of {nodes} "
+            "with any honest nodes left"
+        )
+    step = max(1, nodes // size)
+    chosen: "List[int]" = []
+    taken = set()
+    idx = DEFAULT_DEVIANT_INDEX % nodes
+    for _ in range(size):
+        while idx % nodes in taken:
+            idx += 1
+        chosen.append(idx % nodes)
+        taken.add(idx % nodes)
+        idx += step
+    return tuple(chosen)
+
+
 def build_campaign_plan(name: str, nodes: int, horizon: float, seed: int) -> FaultPlan:
     """A canned fault timeline by campaign plan name."""
     if name == "none":
@@ -149,6 +181,20 @@ class CampaignCellOutcome:
     sim_time_s: float
     counters: "Dict[str, int]" = field(default_factory=dict)
     notes: "List[str]" = field(default_factory=list)
+    #: Every planted deviant's node id — ``(deviant_id,)`` for the
+    #: classic single-deviant cell, the full roster for coalitions.
+    deviant_ids: "Tuple[int, ...]" = ()
+    coalition_size: int = 0
+    coalition_fraction: float = 0.0
+    #: How many coalition members were actually evicted (``detected``
+    #: requires all of them).
+    coalition_evicted: int = 0
+    #: ``floor(f·G)+1`` at this cell's config — the quorum the shuffle
+    #: tally needs, recorded so the frontier can compare the measured
+    #: onset against the analytic bound.
+    relay_threshold: int = 0
+    #: Blacklist-shuffle rounds the cell actually completed.
+    shuffle_rounds: int = 0
 
     @property
     def honest_evictions(self) -> int:
@@ -187,12 +233,22 @@ class CampaignCellOutcome:
             "deanon_rounds_log10": self.deanon_rounds_log10,
             "net_packets_dropped": float(self.counters.get("net_packets_dropped", 0)),
             "transport_retransmits": float(self.counters.get("transport_retransmits", 0)),
+            "coalition_size": float(self.coalition_size),
+            "coalition_fraction": self.coalition_fraction,
+            "coalition_evicted": float(self.coalition_evicted),
+            "relay_threshold": float(self.relay_threshold),
+            "shuffle_rounds": float(self.shuffle_rounds),
         }
 
     def render(self) -> str:
+        coalition = (
+            f" coalition={self.coalition_size}/{self.nodes}"
+            if self.coalition_size > 1
+            else ""
+        )
         lines = [
             f"campaign cell: strategy={self.strategy} plan={self.plan_name} "
-            f"loss={self.loss:.0%} nodes={self.nodes} seed={self.seed}",
+            f"loss={self.loss:.0%} nodes={self.nodes}{coalition} seed={self.seed}",
             f"  deliveries {self.deliveries}, accusations {self.accusations}, "
             f"evictions {self.evictions}",
             f"  detected={'yes' if self.detected else 'no'}"
@@ -246,8 +302,20 @@ def run_campaign_cell(params: "Dict[str, Any]", seed: int) -> CampaignCellOutcom
     heal_bound = float(params.get("heal_bound", DEFAULT_HEAL_BOUND))
     traffic_interval = float(params.get("traffic_interval", 0.25))
     deviant_index = int(params.get("deviant_index", DEFAULT_DEVIANT_INDEX)) % nodes
+    coalition_fraction = float(params.get("coalition_fraction", 0.0))
+    if coalition_fraction and spec.coalition_mode is None:
+        raise ValueError(
+            f"coalition_fraction set but strategy {strategy!r} is not a "
+            "coordinated behaviour"
+        )
 
     overrides = {k: params[k] for k in _CONFIG_KEYS if k in params}
+    # The multi-round horizon knob: derive the blacklist period so at
+    # least ``shuffle_rounds`` blacklist-shuffle rounds fit inside the
+    # horizon (an explicit blacklist_period override wins).
+    wanted_rounds = params.get("shuffle_rounds")
+    if wanted_rounds is not None and "blacklist_period" not in overrides:
+        overrides["blacklist_period"] = horizon / (int(wanted_rounds) + 2)
     config = campaign_config(loss, **overrides)
     # The network-shape axis: a topology preset sampled at a fixed seed,
     # so every cell of one campaign compares the same fingerprinted
@@ -259,28 +327,59 @@ def run_campaign_cell(params: "Dict[str, Any]", seed: int) -> CampaignCellOutcom
         else topo_preset(topology_name, nodes, seed=int(params.get("topology_seed", 0)))
     )
 
-    # A targeted behaviour (FalseAccuser) needs its victim's node id
-    # before bootstrap; ids depend only on (config, seed), so a probe
-    # bootstrap of the same population reveals them.
-    victim: "Optional[int]" = None
-    if spec.needs_victim:
+    # Behaviours keyed on ids known before bootstrap (FalseAccuser's
+    # victim, coalition rosters) use a probe bootstrap: node ids depend
+    # only on (config, seed), not on topology or planted behaviours, so
+    # probing the same population reveals them.
+    probe_ids: "Optional[List[int]]" = None
+    if spec.needs_victim or spec.coalition_mode is not None:
         probe = RacSystem(config, seed=seed)
         probe_ids = probe.bootstrap(nodes)
+    victim: "Optional[int]" = None
+    if spec.needs_victim:
+        assert probe_ids is not None
         victim = probe_ids[(deviant_index + nodes // 2) % nodes]
 
     system = RacSystem(config, seed=seed, topology=topology)
     behaviors: "Dict[int, Any]" = {}
-    if spec.kind != "honest":
+    coalition_size = 0
+    member_indices: "Tuple[int, ...]" = ()
+    if spec.coalition_mode is not None:
+        assert probe_ids is not None
+        coalition_size = (
+            max(1, round(coalition_fraction * nodes)) if coalition_fraction else 1
+        )
+        member_indices = plan_coalition_indices(nodes, coalition_size)
+        member_set = set(member_indices)
+        frame_victims: "Tuple[int, ...]" = ()
+        if spec.coalition_mode == "frame":
+            # The framed victim: an honest node opposite the coalition
+            # anchor in creation order, walked forward past members.
+            vi = (deviant_index + nodes // 2) % nodes
+            while vi in member_set:
+                vi = (vi + 1) % nodes
+            frame_victims = (probe_ids[vi],)
+        coalition = build_coalition(
+            spec.coalition_mode,
+            [probe_ids[i] for i in member_indices],
+            victims=frame_victims,
+            rotation_period=config.blacklist_period,
+        )
+        id_to_index = {probe_ids[i]: i for i in member_indices}
+        behaviors = {id_to_index[nid]: member for nid, member in coalition.items()}
+    elif spec.kind != "honest":
         behaviors[deviant_index] = spec.build(seed=seed, victim=victim)
+        member_indices = (deviant_index,)
     node_ids = system.bootstrap(nodes, behaviors=behaviors)
-    deviant_id = node_ids[deviant_index] if behaviors else None
+    deviant_ids = tuple(node_ids[i] for i in sorted(member_indices))
+    deviant_id = deviant_ids[0] if deviant_ids else None
 
     plan = build_campaign_plan(plan_name, nodes, horizon, seed)
     checker = InvariantChecker(
         node_ids,
-        deviants=() if deviant_id is None else (deviant_id,),
+        deviants=deviant_ids,
         heal_bound=heal_bound,
-        must_detect=(deviant_id,) if deviant_id is not None and spec.detectable else (),
+        must_detect=deviant_ids if spec.detectable else (),
         detection_bound=detection_bound,
     )
     checker.note_plan(plan, node_ids)
@@ -319,11 +418,17 @@ def run_campaign_cell(params: "Dict[str, Any]", seed: int) -> CampaignCellOutcom
         node = system.nodes[nid]
         for at, payload in zip(node.delivered_at, node.delivered):
             checker.record_delivery(at, nid, payload)
-    detection_time: "Optional[float]" = None
+    member_eviction_times: "List[float]" = []
     for accused, info in system.evicted.items():
         checker.record_eviction(info["at"], info["by"], accused, info["kind"])
-        if accused == deviant_id:
-            detection_time = info["at"]
+        if accused in deviant_ids:
+            member_eviction_times.append(info["at"])
+    # "Detected" means the whole coalition is out; the detection time
+    # is when the *last* member fell.
+    detected = bool(deviant_ids) and len(member_eviction_times) == len(deviant_ids)
+    detection_time: "Optional[float]" = (
+        max(member_eviction_times) if detected else None
+    )
     survivors = [n for n in system.nodes.values() if n.active]
     report = checker.check(final_blacklists(survivors))
 
@@ -348,7 +453,7 @@ def run_campaign_cell(params: "Dict[str, Any]", seed: int) -> CampaignCellOutcom
         nodes=nodes,
         seed=seed,
         deviant_id=deviant_id,
-        detected=deviant_id is not None and deviant_id in system.evicted,
+        detected=detected,
         detection_time_s=detection_time,
         deliveries=sum(len(n.delivered) for n in system.nodes.values()),
         accusations=sum(
@@ -363,4 +468,10 @@ def run_campaign_cell(params: "Dict[str, Any]", seed: int) -> CampaignCellOutcom
         sim_time_s=system.now,
         counters=counters,
         notes=notes,
+        deviant_ids=deviant_ids,
+        coalition_size=coalition_size,
+        coalition_fraction=coalition_fraction,
+        coalition_evicted=len(member_eviction_times),
+        relay_threshold=config.relay_accusation_threshold(nodes),
+        shuffle_rounds=counters.get("blacklist_rounds", 0),
     )

@@ -48,12 +48,25 @@ class CampaignSpec:
     the absolute sim-time by which a detectable planted misbehaver must
     be evicted (defaults to the horizon), ``heal_bound`` the liveness
     bound after each fault window heals.
+
+    ``coalition_fractions`` is the *colluding-fraction* axis: each
+    point plants ``round(fraction × nodes)`` coordinated deviants
+    (sharing one :class:`~repro.freeride.coalition
+    .CoalitionCoordinator`) instead of one. Sweep it toward and past
+    the paper's f·G bound to measure the soundness onset. The axis is
+    only added to the grid when non-empty, so existing campaign cell
+    ids are untouched. ``shuffle_rounds`` is the multi-round horizon
+    knob: when set, each cell's ``blacklist_period`` is derived as
+    ``horizon / (shuffle_rounds + 2)`` so at least that many
+    blacklist-shuffle rounds complete inside the horizon.
     """
 
     strategies: "Tuple[str, ...]" = ("forward-dropper", "replay-attacker")
     plans: "Tuple[str, ...]" = ("none", "smoke")
     loss_points: "Tuple[float, ...]" = (0.0,)
     group_sizes: "Tuple[int, ...]" = (10,)
+    coalition_fractions: "Tuple[float, ...]" = ()
+    shuffle_rounds: "Optional[int]" = None
     #: Topology presets (:data:`repro.topo.model.PRESET_NAMES`) — the
     #: campaign's *network-shape* axis. ``lan`` is the paper's uniform
     #: star; non-LAN presets replay every cell under WAN delay and
@@ -100,10 +113,37 @@ class CampaignSpec:
                 )
         if not self.topologies:
             raise ValueError("a campaign needs at least one topology")
+        for fraction in self.coalition_fractions:
+            if not 0.0 < fraction < 0.5:
+                raise ValueError(
+                    f"coalition fraction {fraction!r} outside (0, 0.5) — the "
+                    "honest majority must stay a majority"
+                )
+        if self.coalition_fractions:
+            unilateral = [
+                name for name in self.strategies
+                if BEHAVIORS[name].coalition_mode is None
+            ]
+            if unilateral:
+                raise ValueError(
+                    "coalition fractions set but these strategies deviate "
+                    "unilaterally: " + ", ".join(unilateral)
+                )
         if not self.seeds:
             raise ValueError("a campaign needs at least one seed")
         if self.horizon <= 0:
             raise ValueError("campaign horizon must be positive")
+        if self.shuffle_rounds is not None:
+            if self.shuffle_rounds < 2:
+                raise ValueError("shuffle_rounds must be at least 2 when set")
+            period = self.horizon / (self.shuffle_rounds + 2)
+            if period < 0.25:
+                raise ValueError(
+                    f"{self.shuffle_rounds} shuffle rounds inside a "
+                    f"{self.horizon:g}s horizon would need a "
+                    f"{period:.3f}s blacklist period (< 0.25s floor); "
+                    "lengthen the horizon"
+                )
         if self.detection_bound is not None and not 0 < self.detection_bound <= self.horizon:
             raise ValueError("detection bound must fall inside the horizon")
         if self.heal_bound <= 0:
@@ -115,13 +155,19 @@ class CampaignSpec:
         return (
             len(self.strategies) * len(self.plans) * len(self.loss_points)
             * len(self.group_sizes) * len(self.topologies)
+            * max(1, len(self.coalition_fractions))
         )
 
     def __len__(self) -> int:
         return self.cells_per_seed * len(self.seeds)
 
     def to_grid(self) -> SweepGrid:
-        """Expand into the content-addressed (config × seed) grid."""
+        """Expand into the content-addressed (config × seed) grid.
+
+        The coalition axis and the shuffle-rounds knob only enter the
+        grid when used, so pre-coalition campaigns keep their cell ids
+        (and stay resumable) byte-for-byte.
+        """
         base = dict(self.base)
         base.update(
             horizon=self.horizon,
@@ -130,30 +176,45 @@ class CampaignSpec:
             ),
             heal_bound=self.heal_bound,
         )
+        if self.shuffle_rounds is not None:
+            base["shuffle_rounds"] = self.shuffle_rounds
+        axes = {
+            "strategy": list(self.strategies),
+            "plan": list(self.plans),
+            "loss": list(self.loss_points),
+            "nodes": list(self.group_sizes),
+            "topology": list(self.topologies),
+        }
+        if self.coalition_fractions:
+            axes["coalition_fraction"] = list(self.coalition_fractions)
         return SweepGrid(
             CAMPAIGN_EXPERIMENT,
-            axes={
-                "strategy": list(self.strategies),
-                "plan": list(self.plans),
-                "loss": list(self.loss_points),
-                "nodes": list(self.group_sizes),
-                "topology": list(self.topologies),
-            },
+            axes=axes,
             seeds=self.seeds,
             base_params=base,
         )
 
     def describe(self) -> str:
+        coalition = (
+            f" x {len(self.coalition_fractions)} coalition fractions"
+            if self.coalition_fractions
+            else ""
+        )
+        rounds = (
+            f", >= {self.shuffle_rounds} shuffle rounds"
+            if self.shuffle_rounds is not None
+            else ""
+        )
         return (
             f"campaign: {len(self.strategies)} strategies x {len(self.plans)} plans "
             f"x {len(self.loss_points)} loss points x {len(self.group_sizes)} sizes "
-            f"x {len(self.topologies)} topologies x {len(self.seeds)} seeds "
-            f"= {len(self)} cells (horizon {self.horizon:g}s)"
+            f"x {len(self.topologies)} topologies{coalition} x {len(self.seeds)} seeds "
+            f"= {len(self)} cells (horizon {self.horizon:g}s{rounds})"
         )
 
     # -- manifest round-trip ---------------------------------------------------
     def to_dict(self) -> "Dict[str, Any]":
-        return {
+        body = {
             "strategies": list(self.strategies),
             "plans": list(self.plans),
             "loss_points": list(self.loss_points),
@@ -165,6 +226,13 @@ class CampaignSpec:
             "heal_bound": self.heal_bound,
             "base": dict(self.base),
         }
+        # Only serialized when used, so pre-coalition manifests are
+        # byte-identical to what earlier versions wrote.
+        if self.coalition_fractions:
+            body["coalition_fractions"] = list(self.coalition_fractions)
+        if self.shuffle_rounds is not None:
+            body["shuffle_rounds"] = self.shuffle_rounds
+        return body
 
     @classmethod
     def from_dict(cls, body: "Mapping[str, Any]") -> "CampaignSpec":
@@ -174,6 +242,8 @@ class CampaignSpec:
             loss_points=tuple(body["loss_points"]),
             group_sizes=tuple(body["group_sizes"]),
             topologies=tuple(body.get("topologies", ("lan",))),
+            coalition_fractions=tuple(body.get("coalition_fractions", ())),
+            shuffle_rounds=body.get("shuffle_rounds"),
             seeds=tuple(body["seeds"]),
             horizon=body.get("horizon", 12.0),
             detection_bound=body.get("detection_bound"),
@@ -194,6 +264,58 @@ class CampaignSpec:
             group_sizes=(10,),
             seeds=tuple(seeds),
             horizon=12.0,
+        )
+
+    @classmethod
+    def coalition(cls, seeds: "Sequence[int]" = (0,)) -> "CampaignSpec":
+        """The coalition-frontier matrix: every coordinated strategy ×
+        {none, storm} × a fraction sweep toward and past the f·G bound.
+
+        With G=12 and f=0.25 the eviction quorum is floor(f·G)+1 = 4
+        distinct lists, so f·G = 3 members is the largest coalition the
+        paper promises safety against; the fractions below sweep
+        c = 2..5 members, bracketing the bound from both sides. The
+        group size and traffic rate are chosen so that sub-bound cells
+        carry real detection margin: a staggered member's accuser count
+        scales with (traffic × relay-selection probability × 1/c duty
+        cycle), and at the doubled pump rate c = f·G = 3 convicts with
+        room to spare, while the structurally marginal c ≥ 4 regime
+        lands *above* the bound — where a missed conviction is a
+        measured breakdown of the accountability frontier, not a
+        soundness failure. The 30s horizon with ``shuffle_rounds=18``
+        derives a 1.5s blacklist period, exercising
+        ``record_relay_round`` over well past ten shuffle rounds per
+        cell.
+        """
+        return cls(
+            strategies=("coalition-shield", "coalition-frame", "coalition-stagger"),
+            plans=("none", "storm"),
+            loss_points=(0.0,),
+            group_sizes=(12,),
+            coalition_fractions=(2 / 12, 3 / 12, 4 / 12, 5 / 12),
+            shuffle_rounds=18,
+            seeds=tuple(seeds),
+            horizon=30.0,
+            base={"assumed_opponent_fraction": 0.25, "traffic_interval": 0.125},
+        )
+
+    @classmethod
+    def coalition_smoke(cls, seeds: "Sequence[int]" = (0,)) -> "CampaignSpec":
+        """The CI coalition mini-matrix: two coordinated strategies ×
+        {none, storm}, one sub-f·G fraction (G=12, f=0.25 → quorum 4,
+        coalition of 2). Must come back SOUND: the honest majority
+        convicts the shielded free-riders and the framing pair fails to
+        evict its victim."""
+        return cls(
+            strategies=("coalition-shield", "coalition-frame"),
+            plans=("none", "storm"),
+            loss_points=(0.0,),
+            group_sizes=(12,),
+            coalition_fractions=(1 / 6,),
+            shuffle_rounds=8,
+            seeds=tuple(seeds),
+            horizon=16.0,
+            base={"assumed_opponent_fraction": 0.25},
         )
 
     @classmethod

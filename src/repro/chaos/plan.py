@@ -318,13 +318,35 @@ class FaultPlan:
         population: int,
         horizon: float,
         *,
-        events: int = 6,
-        max_downtime: float = 2.0,
-        max_window: float = 2.0,
+        events: "Optional[int]" = None,
+        max_downtime: "Optional[float]" = None,
+        max_window: "Optional[float]" = None,
     ) -> "FaultPlan":
-        """A seeded random storm: same seed, same storm, any substrate."""
+        """A seeded random storm: same seed, same storm, any substrate.
+
+        Unset knobs derive from scale instead of assuming smoke-sized
+        runs: the event count grows with the population (one extra
+        fault per 8 nodes, capped at 40) so a 256-node storm is not
+        six lonely faults, and the fault windows shrink with short
+        horizons (never longer than ``horizon/8``) so every window +
+        its heal bound still fits before the fault-free tail. Callers
+        with tighter timer contracts (e.g. the sharded substrate's
+        sub-second misbehaviour timers) pass explicit caps.
+        """
         if population < 4:
             raise ValueError("a random storm needs at least 4 nodes")
+        if events is None:
+            events = max(6, min(population // 8, 40))
+        if max_window is None:
+            max_window = min(2.0, horizon / 8.0)
+        if max_downtime is None:
+            max_downtime = max_window
+        if max_window <= 0.3 or max_downtime <= 0.3:
+            raise ValueError(
+                "storm fault windows need headroom above the 0.3s minimum "
+                f"draw (got max_window={max_window!r}, "
+                f"max_downtime={max_downtime!r})"
+            )
         rng = random.Random(seed ^ 0x57A5E)
         plan = cls(seed=seed, horizon=horizon)
         # Leave the first tenth quiet (bootstrap) and the last third
@@ -377,9 +399,28 @@ def smoke_plan(population: int, horizon: float, seed: int = 0) -> FaultPlan:
     return plan
 
 
-def storm_plan(population: int, horizon: float, seed: int = 0) -> FaultPlan:
+def storm_plan(
+    population: int,
+    horizon: float,
+    seed: int = 0,
+    *,
+    events: "Optional[int]" = None,
+    max_downtime: "Optional[float]" = None,
+    max_window: "Optional[float]" = None,
+) -> FaultPlan:
     """A denser seeded storm for soaks: random crashes, partitions,
-    loss and degradation windows, plus one frame-reorder window."""
-    plan = FaultPlan.random(seed, population, horizon, events=6)
+    loss and degradation windows, plus one frame-reorder window.
+
+    Scale knobs left unset derive from (population, horizon) via
+    :meth:`FaultPlan.random` — at smoke scale (≤ 48 nodes, ≥ 16 s
+    horizons) that reproduces the historical six-event/2 s-window
+    storm byte-for-byte, while N=256 storms get proportionally more
+    events with windows that still respect the misbehaviour-timer
+    contract (fault windows must heal faster than the timers convict).
+    """
+    plan = FaultPlan.random(
+        seed, population, horizon,
+        events=events, max_downtime=max_downtime, max_window=max_window,
+    )
     plan.reorder(0, window=4, at=round(horizon * 0.3, 3), duration=round(horizon * 0.2, 3))
     return plan

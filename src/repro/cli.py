@@ -216,10 +216,12 @@ def build_parser() -> argparse.ArgumentParser:
     crun.add_argument("--run-dir", required=True, help="campaign directory (manifest, store)")
     crun.add_argument(
         "--spec",
-        choices=("smoke", "full"),
+        choices=("smoke", "full", "coalition", "coalition-smoke"),
         default=None,
         help="start from a canned matrix (smoke = CI mini-matrix, full = "
-        "the committed artefact); explicit axis flags override its fields",
+        "the committed artefact, coalition = the colluding-fraction sweep, "
+        "coalition-smoke = its CI mini version); explicit axis flags "
+        "override its fields",
     )
     crun.add_argument(
         "--strategies", default=None, help="comma-separated behaviour registry names"
@@ -234,6 +236,27 @@ def build_parser() -> argparse.ArgumentParser:
         "planet-diurnal) — the network-shape axis (default lan)",
     )
     crun.add_argument("--seeds", default=None, help="comma-separated seed list")
+    crun.add_argument(
+        "--coalition-fraction",
+        default=None,
+        help="comma-separated colluding fractions in (0, 0.5) — plants "
+        "round(fraction x nodes) coordinated deviants per cell (coalition "
+        "strategies only)",
+    )
+    crun.add_argument(
+        "--coalition-size",
+        default=None,
+        help="comma-separated coalition member counts; converted to "
+        "fractions against the single --nodes value (mutually exclusive "
+        "with --coalition-fraction)",
+    )
+    crun.add_argument(
+        "--shuffle-rounds",
+        type=int,
+        default=None,
+        help="minimum blacklist-shuffle rounds per cell (derives the "
+        "blacklist period from the horizon)",
+    )
     crun.add_argument("--horizon", type=float, default=None, help="per-cell sim seconds")
     crun.add_argument(
         "--detection-bound",
@@ -692,13 +715,13 @@ def _dispatch_campaign(args: argparse.Namespace) -> int:
     if args.campaign_command == "run":
         import dataclasses
 
-        base = (
-            CampaignSpec.full()
-            if args.spec == "full"
-            else CampaignSpec.smoke()
-            if args.spec == "smoke"
-            else CampaignSpec()
-        )
+        canned = {
+            "full": CampaignSpec.full,
+            "smoke": CampaignSpec.smoke,
+            "coalition": CampaignSpec.coalition,
+            "coalition-smoke": CampaignSpec.coalition_smoke,
+        }
+        base = canned[args.spec]() if args.spec else CampaignSpec()
         overrides = {}
         if args.strategies is not None:
             overrides["strategies"] = tuple(
@@ -720,6 +743,27 @@ def _dispatch_campaign(args: argparse.Namespace) -> int:
             )
         if args.seeds is not None:
             overrides["seeds"] = tuple(int(s) for s in args.seeds.split(",") if s != "")
+        if args.coalition_fraction is not None and args.coalition_size is not None:
+            raise SystemExit(
+                "bad campaign spec: pass --coalition-fraction or "
+                "--coalition-size, not both"
+            )
+        if args.coalition_fraction is not None:
+            overrides["coalition_fractions"] = tuple(
+                float(v) for v in args.coalition_fraction.split(",") if v != ""
+            )
+        if args.coalition_size is not None:
+            sizes = overrides.get("group_sizes", base.group_sizes)
+            if len(sizes) != 1:
+                raise SystemExit(
+                    "bad campaign spec: --coalition-size needs exactly one "
+                    "group size (use a single --nodes value)"
+                )
+            overrides["coalition_fractions"] = tuple(
+                int(v) / sizes[0] for v in args.coalition_size.split(",") if v != ""
+            )
+        if args.shuffle_rounds is not None:
+            overrides["shuffle_rounds"] = args.shuffle_rounds
         if args.horizon is not None:
             overrides["horizon"] = args.horizon
         if args.detection_bound is not None:
@@ -757,15 +801,33 @@ def _dispatch_campaign(args: argparse.Namespace) -> int:
             print(f"\nwrote {args.out}")
         if args.check:
             total_honest = sum(p.honest_evictions for p in report.points)
-            if not report.baseline_ok or total_honest:
-                print(
-                    "campaign check FAILED: "
-                    + (
-                        f"{total_honest} honest eviction(s) recorded"
-                        if total_honest
-                        else "baseline cells are not sound"
-                    )
+            # Coalition honest evictions only fail the check below the
+            # f*G bound: an above-bound breakdown is the measurement,
+            # not a regression.
+            coalition_bad = (
+                report.coalition is not None
+                and not report.coalition.sub_bound_sound
+            )
+            sub_bound_honest = (
+                sum(
+                    p.honest_evictions
+                    for p in report.coalition.points
+                    if not p.above_bound
                 )
+                if report.coalition is not None
+                else 0
+            )
+            if not report.baseline_ok or total_honest or coalition_bad:
+                if total_honest or sub_bound_honest:
+                    why = (
+                        f"{total_honest + sub_bound_honest} honest "
+                        "eviction(s) recorded"
+                    )
+                elif coalition_bad:
+                    why = "sub-f*G coalition cells are not sound"
+                else:
+                    why = "baseline cells are not sound"
+                print("campaign check FAILED: " + why)
                 return 1
         return 0
     return 0

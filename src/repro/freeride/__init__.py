@@ -4,11 +4,22 @@
   unilateral deviations, one per lemma of the Nash proof;
 * :mod:`repro.freeride.adversary` — opponents: anonymity-breaking and
   eviction-forcing active attacks;
+* :mod:`repro.freeride.coalition` — coordinated multi-node deviations
+  sharing one :class:`~repro.freeride.coalition.CoalitionCoordinator`
+  (mutual shielding, framing, staggered free-riding);
 * :mod:`repro.freeride.registry` — stable behaviour names, one per
   class, for campaign specs and CLI flags.
 """
 
 from .adversary import FalseAccuser, Flooder, PathDropOpponent, ReplayAttacker
+from .coalition import (
+    COALITION_MODES,
+    CoalitionCoordinator,
+    CoalitionFrame,
+    CoalitionShield,
+    CoalitionStagger,
+    build_coalition,
+)
 from .registry import (
     BEHAVIORS,
     BehaviorSpec,
@@ -32,6 +43,12 @@ __all__ = [
     "UnknownBehaviorError",
     "behavior_names",
     "make_behavior",
+    "COALITION_MODES",
+    "CoalitionCoordinator",
+    "CoalitionFrame",
+    "CoalitionShield",
+    "CoalitionStagger",
+    "build_coalition",
     "FalseAccuser",
     "Flooder",
     "PathDropOpponent",

@@ -30,6 +30,12 @@ from typing import Callable, Dict, List, Optional
 
 from ..core.behavior import HonestBehavior
 from .adversary import FalseAccuser, Flooder, PathDropOpponent, ReplayAttacker
+from .coalition import (
+    CoalitionCoordinator,
+    CoalitionFrame,
+    CoalitionShield,
+    CoalitionStagger,
+)
 from .selective import SelectiveDropper
 from .strategies import (
     ForwardDropper,
@@ -72,6 +78,13 @@ class BehaviorSpec:
     detectable: bool
     factory: "Callable[..., HonestBehavior]"
     needs_victim: bool = False
+    #: Coordinated strategies (``repro.freeride.coalition``): campaign
+    #: scoring plants a whole member set sharing one coordinator, via
+    #: :func:`repro.freeride.coalition.build_coalition`, keyed by this
+    #: mode instead of calling ``factory`` once. The factory still
+    #: builds a standalone single-member coalition so generic tooling
+    #: (``make_behavior``) works on these names too.
+    coalition_mode: "Optional[str]" = None
 
     def build(self, *, seed: int = 0, victim: "Optional[int]" = None) -> HonestBehavior:
         if self.needs_victim:
@@ -81,10 +94,13 @@ class BehaviorSpec:
         return self.factory(seed=seed)
 
 
-def _spec(cls, kind: str, detectable: bool, factory, needs_victim: bool = False) -> BehaviorSpec:
+def _spec(
+    cls, kind: str, detectable: bool, factory, needs_victim: bool = False,
+    coalition_mode: "Optional[str]" = None,
+) -> BehaviorSpec:
     return BehaviorSpec(
         name=cls.name, kind=kind, detectable=detectable, factory=factory,
-        needs_victim=needs_victim,
+        needs_victim=needs_victim, coalition_mode=coalition_mode,
     )
 
 
@@ -112,6 +128,21 @@ BEHAVIORS: "Dict[str, BehaviorSpec]" = {
         _spec(Flooder, "opponent", True, lambda seed=0: Flooder(extra_per_tick=60)),
         _spec(FalseAccuser, "opponent", False,
               lambda seed=0, victim=None: FalseAccuser(victim), needs_victim=True),
+        # Coordinated strategies (repro.freeride.coalition). Promises
+        # hold for coalitions of <= f*G members — the bound the
+        # coalition frontier sweeps toward and past: shield/stagger
+        # members are mass/rotating relay droppers the quorum still
+        # convicts; framers are data-plane compliant (Lemma 4: the
+        # shuffle is anonymous) and must fail to evict their victim.
+        _spec(CoalitionShield, "freerider", True,
+              lambda seed=0: CoalitionShield(CoalitionCoordinator("shield")),
+              coalition_mode="shield"),
+        _spec(CoalitionFrame, "opponent", False,
+              lambda seed=0: CoalitionFrame(CoalitionCoordinator("frame")),
+              coalition_mode="frame"),
+        _spec(CoalitionStagger, "freerider", True,
+              lambda seed=0: CoalitionStagger(CoalitionCoordinator("stagger")),
+              coalition_mode="stagger"),
     )
 }
 

@@ -51,6 +51,8 @@ __all__ = [
     "plan_population",
     "plan_traffic",
     "behaviors_for",
+    "build_fault_plan",
+    "filter_plan_events",
     "build_shard_system",
     "epoch_step",
     "delivered_payloads",
@@ -75,6 +77,18 @@ class ScaleSpec:
     messages and ``group_max``-bounded groups). ``deviants`` maps
     1-based *creation indices* to freeride-registry behaviour names —
     the hook the eviction-equivalence tests use.
+
+    ``coalition`` plants one *coordinated* deviant set instead:
+    ``{"mode": shield|frame|stagger, "members": [1-based indices],
+    "victims": [...], "rotation_period": float}``. Every worker builds
+    the full-roster :class:`~repro.freeride.coalition
+    .CoalitionCoordinator` from this planning data and keeps only its
+    local members' behaviours, so a coalition spanning bundles stays
+    consistent without any cross-shard channel (the coordinator's
+    decisions are pure functions of roster + sim time). ``plan`` names
+    a canned fault timeline (``none``/``smoke``/``storm``) compiled
+    onto every substrate — shards apply the events touching their own
+    nodes.
     """
 
     nodes: int
@@ -86,6 +100,8 @@ class ScaleSpec:
     group_max: int = 16
     config: "Dict[str, Any]" = field(default_factory=dict)
     deviants: "Dict[int, str]" = field(default_factory=dict)
+    coalition: "Optional[Dict[str, Any]]" = None
+    plan: "Optional[str]" = None
 
     def __post_init__(self) -> None:
         if self.nodes < 4:
@@ -96,6 +112,35 @@ class ScaleSpec:
             raise ValueError("horizon and epoch must be positive")
         if self.group_max < 4:
             raise ValueError("group_max below 4 cannot honour group_min=2 splits")
+        if self.plan not in (None, "none", "smoke", "storm"):
+            raise ValueError(
+                f"unknown fault plan {self.plan!r}; known: none, smoke, storm"
+            )
+        if self.coalition is not None:
+            from ..freeride.coalition import COALITION_MODES
+
+            mode = self.coalition.get("mode")
+            if mode not in COALITION_MODES:
+                raise ValueError(
+                    f"unknown coalition mode {mode!r}; known modes: "
+                    + ", ".join(COALITION_MODES)
+                )
+            members = list(self.coalition.get("members", ()))
+            if not members:
+                raise ValueError("a planted coalition needs at least one member")
+            for index in members + list(self.coalition.get("victims", ())):
+                if not 1 <= int(index) <= self.nodes:
+                    raise ValueError(
+                        f"coalition index {index} outside population 1..{self.nodes}"
+                    )
+            if mode == "frame" and not self.coalition.get("victims"):
+                raise ValueError("a framing coalition needs at least one victim")
+            overlap = set(map(int, members)) & set(map(int, self.deviants))
+            if overlap:
+                raise ValueError(
+                    f"indices {sorted(overlap)} are both coalition members "
+                    "and unilateral deviants"
+                )
 
     @property
     def epoch_count(self) -> int:
@@ -119,7 +164,7 @@ class ScaleSpec:
         return RacConfig.small(**overrides)
 
     def to_dict(self) -> "Dict[str, Any]":
-        return {
+        body = {
             "nodes": self.nodes,
             "num_shards": self.num_shards,
             "seed": self.seed,
@@ -130,9 +175,17 @@ class ScaleSpec:
             "config": dict(self.config),
             "deviants": {str(k): v for k, v in self.deviants.items()},
         }
+        # Serialized only when used: pre-coalition manifests (and their
+        # fingerprint material) stay byte-identical.
+        if self.coalition is not None:
+            body["coalition"] = dict(self.coalition)
+        if self.plan is not None:
+            body["plan"] = self.plan
+        return body
 
     @staticmethod
     def from_dict(body: "Dict[str, Any]") -> "ScaleSpec":
+        coalition = body.get("coalition")
         return ScaleSpec(
             nodes=int(body["nodes"]),
             num_shards=int(body["num_shards"]),
@@ -143,6 +196,8 @@ class ScaleSpec:
             group_max=int(body.get("group_max", 16)),
             config=dict(body.get("config", {})),
             deviants={int(k): str(v) for k, v in body.get("deviants", {}).items()},
+            coalition=dict(coalition) if coalition is not None else None,
+            plan=body.get("plan"),
         )
 
 
@@ -195,17 +250,115 @@ def plan_traffic(
 
 
 def behaviors_for(spec: ScaleSpec, materials: "Sequence[NodeMaterial]"):
-    """Instantiate the spec's deviants: creation index -> behaviour."""
-    if not spec.deviants:
-        return {}
-    from ..freeride.registry import make_behavior
+    """Instantiate the spec's deviants: creation index -> behaviour.
 
+    Unilateral deviants come from ``spec.deviants``; a planted
+    coalition (``spec.coalition``) is built whole — every process
+    constructs the *full-roster* coordinator from the same planning
+    data, then callers filter to the members they host. That is what
+    keeps a coalition spanning shard bundles consistent: the
+    coordinator's decisions are pure functions of (roster, victims,
+    rotation period, sim time), so identical replicas agree without
+    communicating.
+    """
     behaviors = {}
-    for index, name in sorted(spec.deviants.items()):
-        if not 1 <= index <= len(materials):
-            raise ValueError(f"deviant index {index} outside population 1..{len(materials)}")
-        behaviors[index] = make_behavior(name, seed=spec.seed * 1000 + index)
+    if spec.deviants:
+        from ..freeride.registry import make_behavior
+
+        for index, name in sorted(spec.deviants.items()):
+            if not 1 <= index <= len(materials):
+                raise ValueError(
+                    f"deviant index {index} outside population 1..{len(materials)}"
+                )
+            behaviors[index] = make_behavior(name, seed=spec.seed * 1000 + index)
+    if spec.coalition is not None:
+        from ..freeride.coalition import build_coalition
+
+        member_indices = sorted(int(i) for i in spec.coalition["members"])
+        victim_indices = sorted(int(i) for i in spec.coalition.get("victims", ()))
+        for index in member_indices + victim_indices:
+            if not 1 <= index <= len(materials):
+                raise ValueError(
+                    f"coalition index {index} outside population 1..{len(materials)}"
+                )
+        id_of = {i: materials[i - 1].node_id for i in member_indices + victim_indices}
+        members = build_coalition(
+            str(spec.coalition["mode"]),
+            [id_of[i] for i in member_indices],
+            victims=[id_of[i] for i in victim_indices],
+            rotation_period=float(
+                spec.coalition.get("rotation_period")
+                or spec.build_config().blacklist_period
+            ),
+        )
+        for index in member_indices:
+            behaviors[index] = members[id_of[index]]
     return behaviors
+
+
+def build_fault_plan(spec: ScaleSpec, config: RacConfig):
+    """The spec's canned fault timeline, checked against the timers.
+
+    Returns ``None`` for a clean run. Every healing fault window must
+    be shorter than the misbehaviour timers (the chaos-layer contract:
+    an outage that heals before a timer fires cannot read as
+    freeriding) — violating specs are rejected here, at plan time,
+    rather than surfacing as mysterious honest evictions at N=256.
+    """
+    from ..chaos.plan import smoke_plan, storm_plan
+
+    name = spec.plan or "none"
+    if name == "none":
+        return None
+    if name == "smoke":
+        plan = smoke_plan(spec.nodes, spec.horizon, seed=spec.seed)
+    else:
+        plan = storm_plan(spec.nodes, spec.horizon, seed=spec.seed)
+    budget = min(config.relay_timeout, config.predecessor_timeout, config.rate_window)
+    healing = [
+        event.end - event.at
+        for event in plan.events
+        if event.kind in ("crash", "partition", "loss", "degrade")
+        and event.end != float("inf")
+    ]
+    worst = max(healing, default=0.0)
+    if worst >= budget:
+        raise ValueError(
+            f"fault plan {name!r} has a {worst:.2f}s window but the "
+            f"misbehaviour timers allow only {budget:.2f}s — raise "
+            "relay/predecessor/rate timers in the spec config so healing "
+            "faults cannot be convicted as freeriding"
+        )
+    return plan
+
+
+def filter_plan_events(plan, local_indices: "set"):
+    """A copy of ``plan`` holding only the events a shard must apply.
+
+    Node-scoped events survive iff their node is hosted locally;
+    partitions are intersected with the local population (both sides
+    must stay non-empty — a cut entirely between bundles is a no-op,
+    since no traffic crosses shards mid-epoch); global loss windows
+    apply everywhere. Event indices stay in the *global* creation
+    order, so the filtered plan compiles against the full node-id list.
+    """
+    from ..chaos.plan import FaultPlan
+
+    filtered = FaultPlan(seed=plan.seed, horizon=plan.horizon)
+    for event in plan.schedule():
+        if event.kind == "partition":
+            side_a = tuple(i for i in event.side_a if i in local_indices)
+            side_b = tuple(i for i in event.side_b if i in local_indices)
+            if side_a and side_b:
+                filtered.partition(side_a, side_b, event.at, event.duration)
+            continue
+        if event.kind == "loss" and event.node is None:
+            filtered.loss(event.rate, event.at, event.duration)
+            continue
+        if event.node is not None and event.node not in local_indices:
+            continue
+        filtered.events.append(event)
+    return filtered
 
 
 def group_shuffle_rng(seed: int, gid: int) -> random.Random:
@@ -337,6 +490,11 @@ def build_shard_system(spec: ScaleSpec, shard_index: int) -> ShardSystem:
     for src, dst, payload in plan_traffic(spec, materials, directory):
         if directory.group_of_node(src).gid in local_gids:
             system.send(src, dst, payload)
+    plan = build_fault_plan(spec, config)
+    if plan is not None:
+        local_indices = {m.index - 1 for m in local_materials}
+        local_plan = filter_plan_events(plan, local_indices)
+        local_plan.compile_sim(system, [m.node_id for m in materials])
     return system
 
 
@@ -463,6 +621,9 @@ def run_monolithic(spec: ScaleSpec) -> MonolithicOutcome:
     system.bootstrap(spec.nodes, behaviors={i - 1: b for i, b in behaviors.items()})
     for src, dst, payload in plan_traffic(spec, materials, system.directory):
         system.send(src, dst, payload)
+    plan = build_fault_plan(spec, config)
+    if plan is not None:
+        plan.compile_sim(system, [m.node_id for m in materials])
     system.sim.run(until=spec.horizon)
     wall = time.perf_counter() - started
     evicted = {

@@ -13,8 +13,9 @@ import os
 
 import pytest
 
+from repro.groups import plan_bundles, snapshot_groups
 from repro.orchestrator.sharded import run_sharded, verify_sharded
-from repro.simnet.shard import ScaleSpec, run_monolithic
+from repro.simnet.shard import ScaleSpec, plan_population, run_monolithic
 
 
 SPEC = ScaleSpec(nodes=24, num_shards=2, seed=3, horizon=3.0)
@@ -39,6 +40,46 @@ class TestOutcomeEquivalence:
         assert record["kind"] == "relay"
         mono = run_monolithic(EVICT_SPEC)
         assert set(int(k) for k in outcome.evicted) == set(int(k) for k in mono.evicted)
+
+
+class TestCoalitionEquivalence:
+    # A shield coalition spanning shard bundles: the coordinator is
+    # rebuilt per process from the ScaleSpec planning data, so the
+    # sharded eviction set must match the monolithic one exactly
+    # (DESIGN.md §17). Deliveries are compared too — no plan, so the
+    # full multiset contract applies.
+    COALITION_SPEC = ScaleSpec(
+        nodes=64,
+        num_shards=4,
+        seed=3,
+        horizon=8.0,
+        coalition={"mode": "shield", "members": [4, 20, 36, 52]},
+    )
+
+    def test_cross_bundle_coalition_eviction_equivalence(self, tmp_path):
+        spec = self.COALITION_SPEC
+        outcome = run_sharded(spec, str(tmp_path / "run"), serial=True)
+        report = verify_sharded(outcome)
+        assert report.equivalent, report.render()
+
+        # The planted members must actually span bundles, or the test
+        # would not exercise the cross-shard consistency contract.
+        _config, materials, directory = plan_population(spec)
+        member_ids = [materials[i - 1].node_id for i in (4, 20, 36, 52)]
+        gid_of = {m.node_id: directory.group_for_id(m.node_id).gid for m in materials}
+        bundles = plan_bundles(snapshot_groups(directory), spec.num_shards)
+        bundle_of = {
+            g.gid: shard for shard, bundle in enumerate(bundles) for g in bundle
+        }
+        member_bundles = {bundle_of[gid_of[nid]] for nid in member_ids}
+        assert len(member_bundles) >= 2
+
+        # Every eviction is a coalition member, and the monolithic
+        # engine convicts the identical set.
+        mono = run_monolithic(spec)
+        sharded_evicted = {int(k) for k in outcome.evicted}
+        assert sharded_evicted == {int(k) for k in mono.evicted}
+        assert sharded_evicted and sharded_evicted <= set(member_ids)
 
 
 class TestBarrierDeterminism:

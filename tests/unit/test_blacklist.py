@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.blacklist import Blacklist, EvictionTracker
+from repro.core.config import RacConfig
 from repro.core.messages import group_domain
 
 
@@ -105,6 +106,47 @@ class TestRelayEvidence:
         for _ in range(5):
             tracker.record_relay_round(1, 3, [(99,), (), ()])
         assert 99 not in tracker.evicted
+
+    def test_exact_quorum_boundary(self):
+        # Pin the f*G arithmetic against the real config: with G=12 and
+        # f=0.25 the quorum is floor(0.25*12)+1 = 4, so exactly
+        # floor(f*G) = 3 lists — a full-strength colluding coalition —
+        # must NOT evict, and one more honest list must.
+        config = RacConfig.small(assumed_opponent_fraction=0.25)
+        threshold = config.relay_accusation_threshold(12)
+        assert threshold == 4
+        tracker = EvictionTracker(
+            predecessor_threshold=lambda domain: 99,
+            relay_threshold=config.relay_accusation_threshold,
+        )
+        at_bound = [(99,)] * (threshold - 1) + [()] * 9
+        assert tracker.record_relay_round(1, 12, at_bound) == []
+        assert 99 not in tracker.evicted
+        over_bound = [(99,)] * threshold + [()] * 8
+        assert tracker.record_relay_round(1, 12, over_bound) == [99]
+
+    def test_identical_lists_from_distinct_contributors_each_count(self):
+        # Lists are anonymous: the tracker cannot tell two members with
+        # identical grievances apart, so each list counts. The
+        # exactly-one-contribution-per-member invariant is the shuffle
+        # layer's job (RacSystem._run_group_shuffle collects one
+        # contribution per active member), which is what makes
+        # list-count == distinct-accuser-count.
+        tracker = make_tracker(relay_threshold=2)
+        assert tracker.record_relay_round(1, 3, [(99,), (99,), ()]) == [99]
+
+    def test_eviction_stable_across_repeated_identical_rounds(self):
+        # Replaying the same winning round must neither re-evict nor
+        # flip any state: `evicted` is monotone and the per-round vote
+        # tally keeps the maximum seen.
+        tracker = make_tracker(relay_threshold=2)
+        lists = [(99,), (99, 5), ()]
+        assert tracker.record_relay_round(1, 3, lists) == [99]
+        for _ in range(3):
+            assert tracker.record_relay_round(1, 3, lists) == []
+        assert tracker.evicted == {99}
+        assert tracker.relay_vote_count(99, 1) == 2
+        assert tracker.relay_vote_count(5, 1) == 1
 
     def test_forget_clears_evidence(self):
         tracker = make_tracker(pred_threshold=3)

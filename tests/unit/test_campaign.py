@@ -197,6 +197,153 @@ class TestFrontier:
         assert point.mean_detection_time == pytest.approx(5.0)
 
 
+class TestPollutionThreshold:
+    def test_flooder_pollution_unsound_at_strict_threshold(self):
+        # The flooder's documented residue: honest-but-blacklisted
+        # entries linger at the horizon without a single false
+        # eviction. At threshold 0 that residue must flip the verdict.
+        store = ResultStore()
+        store.append(_record("flooder", "none", 0.0, blacklist_violations=8.0))
+        report = build_frontier(store, pollution_threshold=0.0)
+        (point,) = report.points
+        assert point.mean_pollution == pytest.approx(8.0)
+        assert point.polluted and not point.sound
+        assert not report.baseline_ok
+        (f,) = report.frontiers
+        assert f.pollution_onset == 0.0
+        assert "blacklist pollution over threshold" in f.describe()
+        assert "8.0!" in report.render()
+
+    def test_flooder_pollution_tolerated_at_default_threshold(self):
+        # The default threshold is calibrated to tolerate the measured
+        # flooder level (≈8 per cell) with 2x headroom, so the
+        # committed matrix stays SOUND while anything materially worse
+        # trips the verdict.
+        store = ResultStore()
+        store.append(_record("flooder", "none", 0.0, blacklist_violations=8.0))
+        report = build_frontier(store)
+        (point,) = report.points
+        assert not point.polluted and point.sound
+        assert report.baseline_ok
+        assert report.frontiers[0].pollution_onset is None
+        assert "pollution threshold: 16" in report.render()
+
+    def test_pollution_onset_walks_the_loss_axis(self):
+        store = ResultStore()
+        store.append(_record("flooder", "none", 0.0, blacklist_violations=3.0))
+        store.append(_record("flooder", "none", 0.10, blacklist_violations=25.0))
+        (f,) = build_frontier(store).frontiers
+        assert f.sound_up_to == 0.0
+        assert f.pollution_onset == 0.10
+
+
+def _coalition_record(strategy, plan, fraction, seed=0, *, size, nodes=12,
+                      threshold=4, **metric_overrides):
+    record = _record(strategy, plan, 0.0, seed=seed, **metric_overrides)
+    record.cell_id = f"{strategy}-{plan}-{fraction}-{seed}"
+    record.params["nodes"] = nodes
+    record.params["coalition_fraction"] = fraction
+    record.metrics.setdefault("coalition_size", float(size))
+    record.metrics.setdefault("coalition_evicted", float(size))
+    record.metrics.setdefault("relay_threshold", float(threshold))
+    record.metrics.setdefault("shuffle_rounds", 12.0)
+    return record
+
+
+class TestCoalitionFrontier:
+    def test_coalition_cells_fold_apart_from_classic_points(self):
+        store = ResultStore()
+        store.append(_record("silent-relay", "none", 0.0))
+        store.append(_coalition_record("coalition-shield", "none", 0.25, size=3))
+        report = build_frontier(store)
+        assert len(report.points) == 1  # the classic cell only
+        assert report.coalition is not None
+        (point,) = report.coalition.points
+        assert point.fraction == 0.25
+        assert point.size == 3 and point.nodes == 12
+        assert point.bound_fraction == pytest.approx(0.25)
+        assert not point.above_bound  # 3 == threshold - 1 == f*G
+
+    def test_sub_bound_gate_passes_on_clean_sub_bound_cells(self):
+        store = ResultStore()
+        for plan in ("none", "storm"):
+            store.append(_coalition_record("coalition-shield", plan, 0.25, size=3))
+        report = build_frontier(store)
+        assert report.coalition.sub_bound_sound
+        assert report.baseline_ok  # pure-coalition store gates on sub-f*G
+        (f,) = [f for f in report.coalition.frontiers if f.plan == "none"]
+        assert f.holds and f.measured_onset is None
+        assert "sound across the whole swept range" in f.describe()
+
+    def test_frame_breakdown_lands_above_bound(self):
+        # The acceptance-criteria shape: sub-bound frame cells clean,
+        # the quorum-completing fraction evicts an honest victim, and
+        # the frontier reports the onset without failing the gate.
+        store = ResultStore()
+        store.append(_coalition_record(
+            "coalition-frame", "none", 0.25, size=3,
+            detected=0.0, detection_time_s=-1.0))
+        store.append(_coalition_record(
+            "coalition-frame", "none", 4 / 12, size=4,
+            detected=0.0, detection_time_s=-1.0, honest_evictions=1.0))
+        report = build_frontier(store)
+        coalition = report.coalition
+        assert coalition.sub_bound_sound  # the breakdown is above-bound
+        (f,) = coalition.frontiers
+        assert f.fp_onset == pytest.approx(4 / 12)
+        assert f.measured_onset == pytest.approx(4 / 12)
+        assert f.predicted_onset == pytest.approx(4 / 12)
+        assert f.holds
+        assert "honest evictions from 33.3%" in f.describe()
+        (broken,) = coalition.breakdowns
+        assert broken.fraction == pytest.approx(4 / 12)
+        assert "above-bound breakdowns" in coalition.render()
+        assert "UNSOUND (>f*G)" in coalition.render()
+
+    def test_sub_bound_honest_eviction_violates_the_bound(self):
+        store = ResultStore()
+        store.append(_coalition_record(
+            "coalition-frame", "none", 0.25, size=3, honest_evictions=1.0,
+            detected=0.0, detection_time_s=-1.0))
+        report = build_frontier(store)
+        assert not report.coalition.sub_bound_sound
+        assert not report.baseline_ok
+        (f,) = report.coalition.frontiers
+        assert not f.holds
+        assert "BOUND VIOLATED" in f.describe()
+
+    def test_sub_bound_storm_miss_is_latency_not_violation(self):
+        # A rotating coalition under a fault storm may outlive the
+        # finite detection bound below f*G: reported as LATE, gate
+        # still passes (safety held; conviction was slow, not absent).
+        store = ResultStore()
+        store.append(_coalition_record(
+            "coalition-stagger", "none", 0.25, size=3))
+        store.append(_coalition_record(
+            "coalition-stagger", "storm", 0.25, size=3,
+            missed_detections=1.0, detected=0.0, detection_time_s=-1.0,
+            coalition_evicted=2.0))
+        report = build_frontier(store)
+        coalition = report.coalition
+        assert coalition.sub_bound_sound
+        by_plan = {f.plan: f for f in coalition.frontiers}
+        assert by_plan["none"].holds
+        assert by_plan["storm"].holds  # storm miss below bound: latency
+        assert by_plan["storm"].miss_onset == pytest.approx(0.25)
+        assert "LATE" in coalition.render()
+
+    def test_sub_bound_clean_plan_miss_violates_the_bound(self):
+        store = ResultStore()
+        store.append(_coalition_record(
+            "coalition-stagger", "none", 0.25, size=3,
+            missed_detections=1.0, detected=0.0, detection_time_s=-1.0,
+            coalition_evicted=2.0))
+        report = build_frontier(store)
+        assert not report.coalition.sub_bound_sound
+        (f,) = report.coalition.frontiers
+        assert not f.holds
+
+
 class TestTopologyAxis:
     def test_unknown_topology_rejected_with_the_valid_names(self):
         with pytest.raises(ValueError, match="wan-king"):

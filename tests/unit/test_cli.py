@@ -176,6 +176,76 @@ class TestCampaign:
         with open(report_path, encoding="utf-8") as fh:
             assert "no-noise" in fh.read()
 
+    def test_coalition_fraction_and_size_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit, match="not both"):
+            main(
+                [
+                    "campaign", "run", "--run-dir", "/tmp/x",
+                    "--coalition-fraction", "0.25",
+                    "--coalition-size", "3", "--serial",
+                ]
+            )
+
+    def test_coalition_size_needs_a_single_group_size(self):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(
+                [
+                    "campaign", "run", "--run-dir", "/tmp/x",
+                    "--nodes", "12,16", "--coalition-size", "3", "--serial",
+                ]
+            )
+
+    def test_coalition_fraction_on_unilateral_strategy_rejected(self):
+        with pytest.raises(SystemExit, match="bad campaign spec"):
+            main(
+                [
+                    "campaign", "run", "--run-dir", "/tmp/x",
+                    "--strategies", "silent-relay",
+                    "--coalition-fraction", "0.25", "--serial",
+                ]
+            )
+
+    def test_coalition_size_run_and_frontier_report(self, tmp_path, capsys):
+        # A minimal real coalition cell: at the config default f=0.1
+        # and G=20 the quorum is floor(0.1*20)+1 = 3, so a framing
+        # *pair* sits exactly at the f*G bound — undetectable and
+        # harmless, the cell is cheap and the --check gate must pass;
+        # the report must carry the coalition frontier section.
+        run_dir = str(tmp_path / "camp")
+        assert (
+            main(
+                [
+                    "campaign", "run", "--run-dir", run_dir,
+                    "--strategies", "coalition-frame", "--plans", "none",
+                    "--loss", "0", "--nodes", "20", "--seeds", "0",
+                    "--coalition-size", "2", "--shuffle-rounds", "4",
+                    "--horizon", "8", "--serial",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "1/1 cells ok" in out
+        assert "coalition fractions" in out  # spec.describe() names the axis
+
+        report_path = str(tmp_path / "frontier.txt")
+        assert (
+            main(
+                [
+                    "campaign", "report", "--run-dir", run_dir,
+                    "--out", report_path, "--check",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "coalition frontier" in out
+        assert "paper bound f*G" in out
+        assert "sub-f*G cells" in out and "all SOUND" in out
+        with open(report_path, encoding="utf-8") as fh:
+            text = fh.read()
+        assert "coalition-frame" in text and "2/20" in text
+
     def test_report_on_plain_sweep_dir_is_a_clear_error(self, tmp_path):
         run_dir = str(tmp_path / "sweep")
         main(

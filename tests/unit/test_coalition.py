@@ -1,0 +1,146 @@
+"""Unit tests for the coalition adversary layer."""
+
+import pytest
+
+from repro.freeride.coalition import (
+    COALITION_CLASSES,
+    COALITION_MODES,
+    CoalitionCoordinator,
+    CoalitionFrame,
+    CoalitionShield,
+    CoalitionStagger,
+    build_coalition,
+)
+from repro.freeride.registry import BEHAVIORS
+
+
+class TestCoordinator:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown coalition mode"):
+            CoalitionCoordinator("bribe")
+
+    def test_roster_sorted_and_deduplicated(self):
+        coord = CoalitionCoordinator("shield", [9, 3, 3, 7])
+        assert coord.member_ids == (3, 7, 9)
+        assert len(coord) == 3
+        assert coord.is_member(7) and not coord.is_member(4)
+
+    def test_member_cannot_be_victim(self):
+        with pytest.raises(ValueError, match="cannot be their own victims"):
+            CoalitionCoordinator("frame", [1, 2], victims=[2, 5])
+
+    def test_rotation_period_positive(self):
+        with pytest.raises(ValueError, match="rotation period"):
+            CoalitionCoordinator("stagger", [1, 2], rotation_period=0.0)
+
+    def test_censored_share_drops_members_only(self):
+        coord = CoalitionCoordinator("shield", [3, 7])
+        assert coord.censored_share((1, 3, 5, 7)) == (1, 5)
+
+    def test_framed_share_appends_victims_deduplicated(self):
+        coord = CoalitionCoordinator("frame", [1, 2], victims=[8, 9])
+        assert coord.framed_share((9, 4)) == (9, 4, 8)
+
+    def test_rotation_is_pure_function_of_time(self):
+        coord = CoalitionCoordinator("stagger", [5, 11, 17], rotation_period=2.0)
+        # Slot k covers [2k, 2k+2); roster order is sorted member ids.
+        assert coord.active_member(0.0) == 5
+        assert coord.active_member(1.99) == 5
+        assert coord.active_member(2.0) == 11
+        assert coord.active_member(4.5) == 17
+        assert coord.active_member(6.0) == 5  # wraps around
+
+    def test_replica_coordinators_agree(self):
+        # The determinism contract behind cross-shard coalitions: two
+        # coordinators built from the same planning data make identical
+        # decisions without sharing any state.
+        a = CoalitionCoordinator("stagger", [4, 20, 36, 52], rotation_period=1.5)
+        b = CoalitionCoordinator("stagger", [52, 36, 20, 4], rotation_period=1.5)
+        for t in (0.0, 1.5, 3.7, 10.1, 59.9):
+            assert a.active_member(t) == b.active_member(t)
+        assert a.censored_share((4, 9, 36)) == b.censored_share((4, 9, 36))
+
+
+class _FakeBlacklist:
+    def __init__(self, members):
+        self._members = tuple(members)
+
+    def members(self):
+        return self._members
+
+
+class _FakeEnv:
+    def __init__(self, now):
+        self.now = now
+
+
+class _FakeNode:
+    def __init__(self, node_id, now=0.0, blacklist=()):
+        self.node_id = node_id
+        self.env = _FakeEnv(now)
+        self.relays_blacklist = _FakeBlacklist(blacklist)
+
+
+class TestMembers:
+    def test_shield_refuses_relay_and_censors(self):
+        members = build_coalition("shield", [3, 7])
+        behavior = members[3]
+        assert isinstance(behavior, CoalitionShield)
+        assert behavior.should_relay_onion(_FakeNode(3), None) is False
+        assert behavior.refused == 1
+        node = _FakeNode(3, blacklist=(1, 7, 9))
+        assert behavior.blacklist_share(node) == (1, 9)
+
+    def test_frame_shares_victims_but_relays(self):
+        members = build_coalition("frame", [1, 2], victims=[8])
+        behavior = members[1]
+        assert isinstance(behavior, CoalitionFrame)
+        node = _FakeNode(1, blacklist=())
+        assert behavior.blacklist_share(node) == (8,)
+        # Data plane stays protocol-compliant (HonestBehavior default).
+        assert behavior.should_relay_onion(node, None) is True
+
+    def test_stagger_refuses_only_on_duty(self):
+        members = build_coalition("stagger", [5, 11], rotation_period=2.0)
+        behavior = members[5]
+        assert isinstance(behavior, CoalitionStagger)
+        assert behavior.should_relay_onion(_FakeNode(5, now=0.5), None) is False
+        assert behavior.should_relay_onion(_FakeNode(5, now=2.5), None) is True
+        assert members[11].should_relay_onion(_FakeNode(11, now=2.5), None) is False
+        assert behavior.refused == 1
+
+    def test_members_share_one_coordinator(self):
+        members = build_coalition("shield", [1, 2, 3])
+        coords = {id(m.coordinator) for m in members.values()}
+        assert len(coords) == 1
+
+    def test_frame_requires_victims(self):
+        with pytest.raises(ValueError, match="needs at least one victim"):
+            build_coalition("frame", [1, 2])
+
+    def test_empty_coalition_rejected(self):
+        with pytest.raises(ValueError, match="at least one member"):
+            build_coalition("shield", [])
+
+
+class TestRegistry:
+    def test_every_mode_registered(self):
+        assert set(COALITION_CLASSES) == set(COALITION_MODES)
+        for cls in (CoalitionShield, CoalitionFrame, CoalitionStagger):
+            spec = BEHAVIORS[cls.name]
+            assert spec.coalition_mode in COALITION_MODES
+            behavior = spec.factory()
+            assert isinstance(behavior, cls)
+
+    def test_frame_is_undetectable_opponent(self):
+        # The framing member is protocol-compliant on the data plane:
+        # the campaign checker must not demand its eviction.
+        spec = BEHAVIORS["coalition-frame"]
+        assert spec.kind == "opponent"
+        assert not spec.detectable
+
+    def test_freeriders_are_detectable(self):
+        for name in ("coalition-shield", "coalition-stagger"):
+            spec = BEHAVIORS[name]
+            assert spec.kind == "freerider"
+            assert spec.detectable

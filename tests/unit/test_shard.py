@@ -23,11 +23,15 @@ from repro.groups import (
 from repro.simnet.shard import (
     ScaleSpec,
     ZERO_FINGERPRINT,
+    behaviors_for,
+    build_fault_plan,
     build_shard_system,
     canonical_blob,
     chain_fingerprint,
     epoch_step,
+    filter_plan_events,
     group_shuffle_rng,
+    plan_population,
     sort_barrier_records,
 )
 
@@ -107,6 +111,137 @@ class TestScaleSpec:
             ScaleSpec(nodes=2, num_shards=1)
         with pytest.raises(ValueError):
             ScaleSpec(nodes=8, num_shards=0)
+
+
+class TestScaleSpecCoalition:
+    def test_round_trip_with_coalition_and_plan(self):
+        spec = ScaleSpec(
+            nodes=64,
+            num_shards=4,
+            seed=7,
+            plan="storm",
+            coalition={"mode": "shield", "members": [4, 20, 36, 52]},
+            config={"relay_timeout": 4.0, "predecessor_timeout": 4.0, "rate_window": 4.0},
+        )
+        assert ScaleSpec.from_dict(spec.to_dict()) == spec
+
+    def test_plain_manifest_unchanged_by_new_fields(self):
+        # Pre-coalition manifests (and their fingerprint chains) must
+        # stay byte-identical: the new keys serialize only when used.
+        body = ScaleSpec(nodes=24, num_shards=2).to_dict()
+        assert "coalition" not in body and "plan" not in body
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown coalition mode"):
+            ScaleSpec(nodes=16, num_shards=1, coalition={"mode": "bribe", "members": [1]})
+
+    def test_member_index_bounds_checked(self):
+        with pytest.raises(ValueError, match="outside population"):
+            ScaleSpec(nodes=16, num_shards=1, coalition={"mode": "shield", "members": [17]})
+
+    def test_frame_needs_victims(self):
+        with pytest.raises(ValueError, match="victim"):
+            ScaleSpec(nodes=16, num_shards=1, coalition={"mode": "frame", "members": [1, 2]})
+
+    def test_member_deviant_overlap_rejected(self):
+        with pytest.raises(ValueError, match="both coalition members"):
+            ScaleSpec(
+                nodes=16,
+                num_shards=1,
+                deviants={3: "silent-relay"},
+                coalition={"mode": "shield", "members": [3, 5]},
+            )
+
+    def test_unknown_plan_rejected(self):
+        with pytest.raises(ValueError, match="tsunami"):
+            ScaleSpec(nodes=16, num_shards=1, plan="tsunami")
+
+    def test_behaviors_share_one_coordinator_across_replicas(self):
+        # Two processes planning the same spec must build coalitions
+        # that agree on every decision: same roster, same rotation.
+        spec = ScaleSpec(
+            nodes=16,
+            num_shards=2,
+            seed=3,
+            coalition={"mode": "stagger", "members": [2, 9], "rotation_period": 1.5},
+        )
+        _config, materials, _directory = plan_population(spec)
+        a = behaviors_for(spec, materials)
+        b = behaviors_for(spec, materials)
+        assert set(a) == {2, 9}
+        roster_a = a[2].coordinator.member_ids
+        roster_b = b[9].coordinator.member_ids
+        assert roster_a == roster_b == tuple(
+            sorted(materials[i - 1].node_id for i in (2, 9))
+        )
+        for t in (0.0, 1.5, 7.3, 29.9):
+            assert a[2].coordinator.active_member(t) == b[9].coordinator.active_member(t)
+
+
+class TestBuildFaultPlan:
+    def test_none_is_clean(self):
+        spec = ScaleSpec(nodes=16, num_shards=1)
+        assert build_fault_plan(spec, spec.build_config()) is None
+
+    def test_storm_rejected_against_default_tight_timers(self):
+        # RacConfig.small keeps 1s-ish misbehaviour timers; a storm's
+        # healing windows would read as freeriding. The contract is
+        # enforced at plan time with an actionable message.
+        spec = ScaleSpec(nodes=16, num_shards=1, plan="storm")
+        with pytest.raises(ValueError, match="misbehaviour timers"):
+            build_fault_plan(spec, spec.build_config())
+
+    def test_storm_accepted_with_raised_timers(self):
+        spec = ScaleSpec(
+            nodes=16,
+            num_shards=1,
+            plan="storm",
+            config={
+                "relay_timeout": 4.0,
+                "predecessor_timeout": 4.0,
+                "rate_window": 4.0,
+            },
+        )
+        plan = build_fault_plan(spec, spec.build_config())
+        assert plan is not None and plan.events
+        plan.validate(spec.nodes)
+
+
+class TestFilterPlanEvents:
+    def _plan(self):
+        from repro.chaos.plan import FaultPlan
+
+        plan = FaultPlan(seed=0, horizon=10.0)
+        plan.crash_restart(2, at=1.0, downtime=1.0)
+        plan.crash_restart(9, at=2.0, downtime=1.0)
+        plan.partition((1, 2), (9, 10), at=3.0, duration=1.0)
+        plan.partition((9,), (10,), at=4.0, duration=1.0)
+        plan.loss(0.1, at=5.0, duration=1.0)  # global
+        plan.loss(0.2, at=6.0, duration=1.0, node=9)
+        return plan
+
+    def test_local_node_events_survive_globals_kept(self):
+        filtered = filter_plan_events(self._plan(), {1, 2})
+        kinds = [(e.kind, e.node) for e in filtered.schedule()]
+        assert ("crash", 2) in kinds
+        assert ("crash", 9) not in kinds
+        assert ("loss", None) in kinds  # global loss applies everywhere
+        assert ("loss", 9) not in kinds
+
+    def test_partition_intersected_needs_both_sides(self):
+        filtered = filter_plan_events(self._plan(), {1, 2, 10})
+        cuts = [e for e in filtered.schedule() if e.kind == "partition"]
+        # First cut intersects to (1,2) vs (10,); second to nothing on
+        # side a — a cut entirely between bundles is a no-op.
+        assert len(cuts) == 1
+        assert cuts[0].side_a == (1, 2) and cuts[0].side_b == (10,)
+
+    def test_indices_stay_global(self):
+        # The filtered plan compiles against the *full* node-id list,
+        # so surviving events keep their global creation indices.
+        filtered = filter_plan_events(self._plan(), {9, 10})
+        crash = [e for e in filtered.schedule() if e.kind == "crash"]
+        assert [e.node for e in crash] == [9]
 
 
 class TestShuffleRng:
